@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// chart renders two aligned series as a horizontal ASCII bar chart — the
+// closest terminal analogue of the paper's actual-vs-estimated bar figures.
+// Bars are scaled to the maximum across both series.
+func chart(title string, labels []string, actual, estimated []float64, unit string) {
+	const width = 46
+	max := 0.0
+	for i := range actual {
+		if actual[i] > max {
+			max = actual[i]
+		}
+		if estimated[i] > max {
+			max = estimated[i]
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	fmt.Printf("  %s (█ actual, ░ estimated; full bar = %s)\n", title, fmtVal(max, unit))
+	for i, l := range labels {
+		a := int(actual[i] / max * width)
+		e := int(estimated[i] / max * width)
+		fmt.Printf("  %-16s █%s %s\n", l, strings.Repeat("█", a), fmtVal(actual[i], unit))
+		fmt.Printf("  %-16s ░%s %s\n", "", strings.Repeat("░", e), fmtVal(estimated[i], unit))
+	}
+}
+
+func fmtVal(v float64, unit string) string {
+	switch unit {
+	case "ms":
+		return fmt.Sprintf("%.2fms", v*1000)
+	case "plans":
+		return fmt.Sprintf("%.0f plans", v)
+	default:
+		return fmt.Sprintf("%.3g%s", v, unit)
+	}
+}

@@ -1,0 +1,93 @@
+// Command mop demonstrates the paper's Figure 1 meta-optimizer over a
+// workload: each query is first compiled at the cheap greedy level; the
+// compilation-time estimator then prices high-level optimization, and the
+// query is recompiled at the high level only when the predicted compilation
+// time is below the (estimated) execution time of the greedy plan.
+//
+// Usage:
+//
+//	mop [-workload real1|real2|tpch|star|linear|random] [-nodes 1|4] [-static]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cote"
+)
+
+func main() {
+	wlName := flag.String("workload", "tpch", "workload: real1, real2, tpch, star, linear, random")
+	nodes := flag.Int("nodes", 1, "logical nodes (1 or 4)")
+	static := flag.Bool("static", false, "treat queries as static (repeatedly executed): 10x compile budget")
+	flag.Parse()
+
+	var w *cote.Workload
+	switch *wlName {
+	case "real1":
+		w = cote.Real1Workload(*nodes)
+	case "real2":
+		w = cote.Real2Workload(*nodes)
+	case "tpch":
+		w = cote.TPCHWorkload(*nodes)
+	case "star":
+		w = cote.StarWorkload(*nodes)
+	case "linear":
+		w = cote.LinearWorkload(*nodes)
+	case "random":
+		w = cote.RandomWorkload(42, 12, 10, *nodes)
+	default:
+		fmt.Fprintf(os.Stderr, "mop: unknown workload %q\n", *wlName)
+		os.Exit(1)
+	}
+	cfg := cote.Serial
+	if *nodes > 1 {
+		cfg = cote.Parallel4
+	}
+
+	// Calibrate the time model on the synthetic workloads.
+	fmt.Println("calibrating the compilation-time model on the star workload ...")
+	var training []cote.TrainingPoint
+	for _, q := range cote.StarWorkload(*nodes).Queries {
+		res, err := cote.Optimize(q.Block, cote.OptimizeOptions{Level: cote.LevelHighInner2, Config: cfg})
+		if err != nil {
+			fatal(err)
+		}
+		training = append(training, cote.TrainingPointFrom(res))
+	}
+	model, err := cote.Calibrate(training)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model: %v\n\n", model)
+
+	mop := &cote.MetaOptimizer{
+		High:   cote.LevelHighInner2,
+		Config: cfg,
+		Model:  model,
+		Static: *static,
+	}
+
+	fmt.Printf("%-16s %14s %14s %10s %18s\n", "query", "E (greedy exec)", "C (est compile)", "recompile", "final plan cost")
+	recompiled := 0
+	for _, q := range w.Queries {
+		_, dec, err := mop.Run(q.Block)
+		if err != nil {
+			fatal(err)
+		}
+		mark := "no"
+		if dec.Recompiled {
+			mark = "YES"
+			recompiled++
+		}
+		fmt.Printf("%-16s %14v %14v %10s %18v\n",
+			q.Name, dec.LowPlanExecCost, dec.HighCompileEstimate, mark, dec.FinalPlanCost)
+	}
+	fmt.Printf("\nrecompiled %d of %d queries at the high level\n", recompiled, len(w.Queries))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mop: %v\n", err)
+	os.Exit(1)
+}

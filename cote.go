@@ -1,0 +1,246 @@
+// Package cote is a reproduction, as a standalone Go library, of
+// "Estimating Compilation Time of a Query Optimizer" (Ilyas, Rao, Lohman,
+// Gao, Lin — SIGMOD 2003).
+//
+// The library contains a complete System-R-style cost-based query optimizer
+// (bottom-up dynamic programming over a MEMO structure, interesting orders,
+// three join methods, a serial and a shared-nothing parallel version) and,
+// on top of it, the paper's contribution: a COmpilation Time Estimator
+// (COTE) that predicts how long the optimizer will take on a query before
+// running it, by reusing the join enumerator, bypassing plan generation,
+// and counting the join plans each enumerated join would generate from
+// per-MEMO-entry interesting-property lists.
+//
+// # Quick start
+//
+//	cat := cote.TPCHCatalog(1, 1)
+//	q, err := cote.ParseSQL(`SELECT ... FROM ...`, cat)
+//	res, err := cote.Optimize(q, cote.OptimizeOptions{Level: cote.LevelHigh})
+//	est, err := cote.EstimatePlans(q, cote.EstimateOptions{Level: cote.LevelHigh})
+//
+// To convert plan counts into a wall-clock prediction, calibrate a TimeModel
+// once per machine and configuration on a training workload (see Calibrate)
+// and pass it in EstimateOptions.Model, exactly as the paper fits its Ct
+// constants by regression.
+package cote
+
+import (
+	"cote/internal/catalog"
+	"cote/internal/core"
+	"cote/internal/cost"
+	"cote/internal/opt"
+	"cote/internal/props"
+	"cote/internal/query"
+	"cote/internal/sqlparser"
+	"cote/internal/workload"
+)
+
+// Catalog is a database schema with statistics: tables, columns, indexes,
+// physical partitionings, and foreign keys.
+type Catalog = catalog.Catalog
+
+// CatalogBuilder assembles a Catalog.
+type CatalogBuilder = catalog.Builder
+
+// NewCatalogBuilder starts building a schema with the given name.
+func NewCatalogBuilder(name string) *CatalogBuilder { return catalog.NewBuilder(name) }
+
+// TPCHCatalog returns the TPC-H schema at the given scale factor,
+// partitioned across nodes when nodes > 1.
+func TPCHCatalog(scale float64, nodes int) *Catalog { return catalog.TPCH(scale, nodes) }
+
+// Warehouse1Catalog returns the retail-warehouse schema behind the real1
+// and random workloads.
+func Warehouse1Catalog(nodes int) *Catalog { return catalog.Warehouse1(nodes) }
+
+// Warehouse2Catalog returns the financial-warehouse schema behind the real2
+// workload.
+func Warehouse2Catalog(nodes int) *Catalog { return catalog.Warehouse2(nodes) }
+
+// Query is a parsed and normalized query: one block plus nested blocks for
+// views and subqueries.
+type Query = query.Block
+
+// QueryBuilder assembles a Query programmatically, as an alternative to
+// ParseSQL.
+type QueryBuilder = query.Builder
+
+// NewQueryBuilder starts building a query named name over the catalog.
+func NewQueryBuilder(name string, cat *Catalog) *QueryBuilder {
+	return query.NewBuilder(name, cat)
+}
+
+// ParseSQL compiles a SQL statement (SELECT with inner/left-outer joins,
+// derived tables, IN-subqueries, GROUP BY, ORDER BY) against the catalog.
+func ParseSQL(sql string, cat *Catalog) (*Query, error) { return sqlparser.Parse(sql, cat) }
+
+// MustParseSQL is ParseSQL for statically known-good SQL; it panics on
+// error.
+func MustParseSQL(sql string, cat *Catalog) *Query { return sqlparser.MustParse(sql, cat) }
+
+// Level is an optimization level: the greedy low level or a
+// dynamic-programming level with knob presets.
+type Level = opt.Level
+
+// Optimization levels, from cheapest to most thorough.
+const (
+	LevelLow            = opt.LevelLow
+	LevelMediumLeftDeep = opt.LevelMediumLeftDeep
+	LevelMediumZigZag   = opt.LevelMediumZigZag
+	LevelHighInner2     = opt.LevelHighInner2
+	LevelHigh           = opt.LevelHigh
+)
+
+// Config selects the execution architecture the optimizer costs for.
+type Config = cost.Config
+
+// Serial and Parallel4 are the two configurations of the paper's
+// experiments: a serial database and a 4-logical-node shared-nothing
+// parallel one.
+var (
+	Serial    = cost.Serial
+	Parallel4 = cost.Parallel4
+)
+
+// OptimizeOptions configures real query optimization.
+type OptimizeOptions = opt.Options
+
+// OptimizeResult is the outcome of a real optimization: the chosen plan,
+// per-block MEMO state, counters and timings.
+type OptimizeResult = opt.Result
+
+// Optimize compiles the query for real: enumerates joins, generates and
+// prunes plans, and returns the best plan with full instrumentation.
+func Optimize(q *Query, opts OptimizeOptions) (*OptimizeResult, error) {
+	return opt.Optimize(q, opts)
+}
+
+// EstimateOptions configures a compilation-time estimation.
+type EstimateOptions = core.Options
+
+// Estimate is the estimation outcome: per-method plan counts, enumerated
+// joins, the estimator's own (small) wall time, and — given a model — the
+// compilation-time and optimizer-memory predictions.
+type Estimate = core.Estimate
+
+// PlanCounts holds generated-plan counts per join method.
+type PlanCounts = core.PlanCounts
+
+// ListMode selects how the estimator maintains multiple property types
+// (Section 3.4): separate per-type lists (the paper's choice) or explicit
+// compound vectors.
+type ListMode = core.ListMode
+
+// List modes.
+const (
+	SeparateLists = core.SeparateLists
+	CompoundLists = core.CompoundLists
+)
+
+// EstimatePlans runs the paper's plan-estimate mode: the join enumerator
+// runs with plan generation bypassed, maintaining interesting-property
+// lists to count the plans each join would generate.
+func EstimatePlans(q *Query, opts EstimateOptions) (*Estimate, error) {
+	return core.EstimatePlans(q, opts)
+}
+
+// ActualPlanCounts extracts the generated-plan counts from a real
+// optimization, for estimate-versus-actual comparisons.
+func ActualPlanCounts(res *OptimizeResult) PlanCounts {
+	return core.CountsFrom(res.TotalCounters())
+}
+
+// TimeModel converts plan counts to time: T = Tinst * (sum Ct*Pt + C0).
+type TimeModel = core.TimeModel
+
+// TrainingPoint pairs measured plan counts with a measured compilation
+// time.
+type TrainingPoint = core.TrainingPoint
+
+// Calibrate fits the per-join-method constants Ct by non-negative least
+// squares on training observations. Refit per machine and configuration, as
+// the paper refits per DB2 release.
+func Calibrate(training []TrainingPoint) (*TimeModel, error) { return core.Calibrate(training) }
+
+// TrainingPointFrom builds a training point from one real optimization,
+// including the per-method timing breakdown that keeps calibration well
+// conditioned.
+func TrainingPointFrom(res *OptimizeResult) TrainingPoint {
+	return core.TrainingPointFrom(res.TotalCounters(), res.Elapsed)
+}
+
+// MetaOptimizer is the paper's Figure 1 application: compile at the low
+// level, estimate the high level's compilation time, and recompile only
+// when the estimate is worth it.
+type MetaOptimizer = core.MOP
+
+// MOPDecision records what the meta-optimizer decided and why.
+type MOPDecision = core.MOPDecision
+
+// MultiLevelEstimate holds per-level plan counts from one enumeration pass.
+type MultiLevelEstimate = core.MultiLevelEstimate
+
+// EstimateLevels estimates several optimization levels in a single
+// enumeration pass at the top level (the paper's Section 6.2 piggyback
+// extension). Every requested level's search space must be subsumed by top.
+func EstimateLevels(q *Query, top Level, levels []Level, opts EstimateOptions) (*MultiLevelEstimate, error) {
+	return core.EstimateLevels(q, top, levels, opts)
+}
+
+// StatementCache is the Section 1.2 baseline: remember the compilation
+// time of structurally identical statements. Exact repeats hit; the ad-hoc
+// variations the estimator targets miss.
+type StatementCache = core.StatementCache
+
+// NewStatementCache returns an empty statement cache.
+func NewStatementCache() *StatementCache { return core.NewStatementCache() }
+
+// JoinCountEstimate is the prior-work baseline: the Ono-Lohman join count.
+type JoinCountEstimate = core.JoinCountEstimate
+
+// CountJoins counts the distinct binary joins of a query by running the
+// enumerator with no hooks — the baseline metric the paper improves on.
+func CountJoins(q *Query, opts EstimateOptions) (*JoinCountEstimate, error) {
+	return core.CountJoins(q, opts)
+}
+
+// ClosedFormJoins returns the closed-form join count for "linear" or
+// "star" queries of n tables; other shapes have none (the general problem
+// is #P-complete).
+func ClosedFormJoins(shape string, n int) (int, error) { return core.ClosedFormJoins(shape, n) }
+
+// JoinMethod identifies NLJN, MGJN or HSJN.
+type JoinMethod = props.JoinMethod
+
+// Join methods.
+const (
+	NLJN           = props.NLJN
+	MGJN           = props.MGJN
+	HSJN           = props.HSJN
+	NumJoinMethods = props.NumJoinMethods
+)
+
+// Workload is a named collection of queries over one catalog.
+type Workload = workload.Workload
+
+// LinearWorkload returns the linear synthetic workload. For every workload
+// constructor, nodes selects the serial (1) or parallel (4) variant — the
+// paper's _s/_p suffixes.
+func LinearWorkload(nodes int) *Workload { return workload.Linear(nodes) }
+
+// StarWorkload returns the star synthetic workload.
+func StarWorkload(nodes int) *Workload { return workload.Star(nodes) }
+
+// RandomWorkload returns the seeded random workload over the real1 schema.
+func RandomWorkload(seed int64, count, maxTables, nodes int) *Workload {
+	return workload.Random(seed, count, maxTables, nodes)
+}
+
+// Real1Workload returns the first customer workload (8 queries).
+func Real1Workload(nodes int) *Workload { return workload.Real1(nodes) }
+
+// Real2Workload returns the second customer workload (17 queries).
+func Real2Workload(nodes int) *Workload { return workload.Real2(nodes) }
+
+// TPCHWorkload returns the seven longest-compiling TPC-H queries.
+func TPCHWorkload(nodes int) *Workload { return workload.TPCH(nodes) }

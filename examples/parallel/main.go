@@ -1,0 +1,49 @@
+// Parallel estimation: the shared-nothing version of the estimator, where
+// plans carry both an order and a partition property. The paper's Section
+// 3.4 keeps one interesting-property list per type and multiplies their
+// lengths instead of enumerating (order, partition) combinations; this
+// example shows the accuracy/space trade-off against the compound-list
+// alternative, plus the Section 6.2 optimizer-memory estimate.
+package main
+
+import (
+	"fmt"
+
+	"cote"
+)
+
+func main() {
+	w := cote.Real1Workload(4) // the paper's 4-logical-node setup
+
+	fmt.Printf("%-12s %9s %9s %9s %10s %10s\n",
+		"query", "actual", "separate", "compound", "est time", "mem bound")
+	for _, q := range w.Queries {
+		res, err := cote.Optimize(q.Block, cote.OptimizeOptions{
+			Level: cote.LevelHighInner2, Config: cote.Parallel4,
+		})
+		if err != nil {
+			panic(err)
+		}
+		sep, err := cote.EstimatePlans(q.Block, cote.EstimateOptions{
+			Level: cote.LevelHighInner2, Config: cote.Parallel4,
+		})
+		if err != nil {
+			panic(err)
+		}
+		comp, err := cote.EstimatePlans(q.Block, cote.EstimateOptions{
+			Level: cote.LevelHighInner2, Config: cote.Parallel4,
+			ListMode: cote.CompoundLists,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-12s %9d %9d %9d %10v %9dB\n",
+			q.Name,
+			cote.ActualPlanCounts(res).Total(),
+			sep.Counts.Total(), comp.Counts.Total(),
+			sep.Elapsed, sep.PredictedMemoryBytes)
+	}
+	fmt.Println("\nseparate lists are the paper's choice: cheaper to maintain, slightly")
+	fmt.Println("less exact than compound (order, partition) vectors; both track the")
+	fmt.Println("actual generated-plan counts of the parallel optimizer.")
+}

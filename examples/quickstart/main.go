@@ -1,0 +1,62 @@
+// Quickstart: parse one SQL query, optimize it for real, then ask the
+// compilation-time estimator for the same query and compare — the minimal
+// end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+
+	"cote"
+)
+
+func main() {
+	// A schema with statistics. Built-in catalogs (TPC-H, two warehouse
+	// schemas) are available too; this builds one from scratch.
+	cat := cote.NewCatalogBuilder("shop").
+		Table("orders", 1_000_000).
+		Column("o_id", 1_000_000).
+		Column("o_cust", 50_000).
+		Column("o_total", 800_000).
+		Index("pk_orders", true, "o_id").
+		Table("customer", 50_000).
+		Column("c_id", 50_000).
+		Column("c_city", 500).
+		Index("pk_customer", true, "c_id").
+		Table("lineitem", 4_000_000).
+		Column("l_order", 1_000_000).
+		Column("l_price", 900_000).
+		Build()
+
+	q, err := cote.ParseSQL(`
+		SELECT c_city, SUM(l_price)
+		FROM orders, customer, lineitem
+		WHERE o_cust = c_id AND l_order = o_id AND c_city = 'OSLO'
+		GROUP BY c_city
+		ORDER BY c_city`, cat)
+	if err != nil {
+		panic(err)
+	}
+
+	// Real optimization: dynamic programming over all bushy join trees.
+	res, err := cote.Optimize(q, cote.OptimizeOptions{Level: cote.LevelHigh})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("plan:", res.Plan)
+	fmt.Printf("compilation took %v; plans generated: MGJN %d, NLJN %d, HSJN %d\n",
+		res.Elapsed,
+		cote.ActualPlanCounts(res).ByMethod[cote.MGJN],
+		cote.ActualPlanCounts(res).ByMethod[cote.NLJN],
+		cote.ActualPlanCounts(res).ByMethod[cote.HSJN])
+
+	// The estimator: same enumerator, no plan generation.
+	est, err := cote.EstimatePlans(q, cote.EstimateOptions{Level: cote.LevelHigh})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("estimator took %v (%.1f%% of compilation) and predicted plans: MGJN %d, NLJN %d, HSJN %d\n",
+		est.Elapsed, 100*est.Elapsed.Seconds()/res.Elapsed.Seconds(),
+		est.Counts.ByMethod[cote.MGJN],
+		est.Counts.ByMethod[cote.NLJN],
+		est.Counts.ByMethod[cote.HSJN])
+}

@@ -1,0 +1,3 @@
+module cote
+
+go 1.22

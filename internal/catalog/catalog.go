@@ -1,0 +1,262 @@
+// Package catalog models the database schema and statistics that the
+// optimizer and the compilation-time estimator consult: tables, columns,
+// indexes, physical partitioning (for the shared-nothing parallel version),
+// row counts, column cardinalities, and foreign-key relationships.
+//
+// The catalog is deliberately simple — it carries exactly the metadata that
+// influences join enumeration and plan generation in the reproduced system:
+// row counts and NDVs drive cardinality estimation, indexes seed natural
+// order properties (under a lazy generation policy), the physical
+// partitioning seeds partition properties, and foreign keys guide the random
+// workload generator toward realistic FK->PK joins.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog is a named collection of tables. It is immutable after
+// construction and safe for concurrent use.
+type Catalog struct {
+	name   string
+	tables map[string]*Table
+	names  []string // sorted, for deterministic iteration
+}
+
+// Table describes one base table.
+type Table struct {
+	Name     string
+	RowCount float64
+	Columns  []*Column
+	Indexes  []*Index
+	// Partitioning is the physical hash partitioning of the table across the
+	// nodes of a shared-nothing system. It is nil for serial databases and
+	// for round-robin (no partitioning key) tables.
+	Partitioning *Partitioning
+	ForeignKeys  []ForeignKey
+
+	colByName map[string]*Column
+}
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	// NDV is the number of distinct values, used for equality-predicate
+	// selectivity (1/NDV) and join selectivity (1/max NDV).
+	NDV     float64
+	Ordinal int
+	Table   *Table
+}
+
+// Index describes a (possibly composite) B-tree index. The column sequence
+// of an index is a natural source of order properties.
+type Index struct {
+	Name    string
+	Columns []string
+	Unique  bool
+}
+
+// Partitioning describes hash partitioning on a key across Nodes logical
+// nodes of a shared-nothing parallel system.
+type Partitioning struct {
+	Columns []string
+	Nodes   int
+}
+
+// ForeignKey records that Columns of the owning table reference RefColumns
+// of RefTable. The workload generators use this to prefer realistic FK->PK
+// joins, mirroring the random query generator described in the paper.
+type ForeignKey struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// Name returns the catalog's name.
+func (c *Catalog) Name() string { return c.name }
+
+// Table returns the named table, or an error if it does not exist.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog %q: unknown table %q", c.name, name)
+	}
+	return t, nil
+}
+
+// MustTable is Table but panics on unknown names. Intended for static
+// schemas and tests where the name is a compile-time constant.
+func (c *Catalog) MustTable(name string) *Table {
+	t, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TableNames returns all table names in sorted order.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// NumTables returns the number of tables in the catalog.
+func (c *Catalog) NumTables() int { return len(c.names) }
+
+// Column returns the named column of the table, or an error.
+func (t *Table) Column(name string) (*Column, error) {
+	col, ok := t.colByName[name]
+	if !ok {
+		return nil, fmt.Errorf("table %q: unknown column %q", t.Name, name)
+	}
+	return col, nil
+}
+
+// MustColumn is Column but panics on unknown names.
+func (t *Table) MustColumn(name string) *Column {
+	col, err := t.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return col
+}
+
+// HasColumn reports whether the table has a column with the given name.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.colByName[name]
+	return ok
+}
+
+// Builder assembles a Catalog. Methods panic on structurally invalid input
+// (duplicate names, index over missing columns); schemas are static program
+// data, so misuse is a programming error rather than a runtime condition.
+type Builder struct {
+	c    *Catalog
+	cur  *Table
+	done bool
+}
+
+// NewBuilder starts building a catalog with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{c: &Catalog{name: name, tables: map[string]*Table{}}}
+}
+
+// Table starts a new table with the given name and row count. Subsequent
+// Column/Index/Partition/ForeignKey calls apply to this table.
+func (b *Builder) Table(name string, rows float64) *Builder {
+	b.mustOpen()
+	if _, dup := b.c.tables[name]; dup {
+		panic(fmt.Sprintf("catalog %q: duplicate table %q", b.c.name, name))
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	t := &Table{Name: name, RowCount: rows, colByName: map[string]*Column{}}
+	b.c.tables[name] = t
+	b.c.names = append(b.c.names, name)
+	b.cur = t
+	return b
+}
+
+// Column adds a column with the given number of distinct values to the
+// current table. NDV is capped to the table's row count.
+func (b *Builder) Column(name string, ndv float64) *Builder {
+	t := b.mustTable()
+	if _, dup := t.colByName[name]; dup {
+		panic(fmt.Sprintf("table %q: duplicate column %q", t.Name, name))
+	}
+	if ndv < 1 {
+		ndv = 1
+	}
+	if ndv > t.RowCount {
+		ndv = t.RowCount
+	}
+	col := &Column{Name: name, NDV: ndv, Ordinal: len(t.Columns), Table: t}
+	t.Columns = append(t.Columns, col)
+	t.colByName[name] = col
+	return b
+}
+
+// Index adds an index over the given columns of the current table.
+func (b *Builder) Index(name string, unique bool, cols ...string) *Builder {
+	t := b.mustTable()
+	if len(cols) == 0 {
+		panic(fmt.Sprintf("table %q: index %q has no columns", t.Name, name))
+	}
+	for _, c := range cols {
+		if _, ok := t.colByName[c]; !ok {
+			panic(fmt.Sprintf("table %q: index %q over unknown column %q", t.Name, name, c))
+		}
+	}
+	t.Indexes = append(t.Indexes, &Index{Name: name, Columns: cols, Unique: unique})
+	return b
+}
+
+// Partition declares the current table hash-partitioned on cols across the
+// given number of nodes.
+func (b *Builder) Partition(nodes int, cols ...string) *Builder {
+	t := b.mustTable()
+	if nodes < 1 {
+		panic(fmt.Sprintf("table %q: partitioning needs >= 1 node", t.Name))
+	}
+	for _, c := range cols {
+		if _, ok := t.colByName[c]; !ok {
+			panic(fmt.Sprintf("table %q: partitioning on unknown column %q", t.Name, c))
+		}
+	}
+	t.Partitioning = &Partitioning{Columns: cols, Nodes: nodes}
+	return b
+}
+
+// ForeignKey declares that cols of the current table reference refCols of
+// refTable. The referenced table may be declared later; Build validates it.
+func (b *Builder) ForeignKey(refTable string, cols []string, refCols []string) *Builder {
+	t := b.mustTable()
+	if len(cols) == 0 || len(cols) != len(refCols) {
+		panic(fmt.Sprintf("table %q: malformed foreign key to %q", t.Name, refTable))
+	}
+	for _, c := range cols {
+		if _, ok := t.colByName[c]; !ok {
+			panic(fmt.Sprintf("table %q: foreign key over unknown column %q", t.Name, c))
+		}
+	}
+	t.ForeignKeys = append(t.ForeignKeys, ForeignKey{Columns: cols, RefTable: refTable, RefColumns: refCols})
+	return b
+}
+
+// Build finalizes and returns the catalog. The builder must not be reused.
+func (b *Builder) Build() *Catalog {
+	b.mustOpen()
+	b.done = true
+	sort.Strings(b.c.names)
+	for _, t := range b.c.tables {
+		for _, fk := range t.ForeignKeys {
+			ref, ok := b.c.tables[fk.RefTable]
+			if !ok {
+				panic(fmt.Sprintf("table %q: foreign key to unknown table %q", t.Name, fk.RefTable))
+			}
+			for _, c := range fk.RefColumns {
+				if _, ok := ref.colByName[c]; !ok {
+					panic(fmt.Sprintf("table %q: foreign key to unknown column %s.%s", t.Name, fk.RefTable, c))
+				}
+			}
+		}
+	}
+	return b.c
+}
+
+func (b *Builder) mustOpen() {
+	if b.done {
+		panic("catalog: builder reused after Build")
+	}
+}
+
+func (b *Builder) mustTable() *Table {
+	b.mustOpen()
+	if b.cur == nil {
+		panic("catalog: column/index/partition before any Table call")
+	}
+	return b.cur
+}

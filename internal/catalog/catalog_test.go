@@ -1,0 +1,204 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	c := NewBuilder("db").
+		Table("t", 100).
+		Column("a", 10).
+		Column("b", 1000). // NDV capped to row count
+		Index("ix", false, "a", "b").
+		Build()
+
+	tab := c.MustTable("t")
+	if tab.RowCount != 100 {
+		t.Fatalf("RowCount = %v", tab.RowCount)
+	}
+	if got := tab.MustColumn("b").NDV; got != 100 {
+		t.Fatalf("NDV cap: got %v, want 100", got)
+	}
+	if tab.MustColumn("a").Ordinal != 0 || tab.MustColumn("b").Ordinal != 1 {
+		t.Fatal("ordinals wrong")
+	}
+	if len(tab.Indexes) != 1 || tab.Indexes[0].Columns[1] != "b" {
+		t.Fatal("index wrong")
+	}
+	if !tab.HasColumn("a") || tab.HasColumn("z") {
+		t.Fatal("HasColumn wrong")
+	}
+}
+
+func TestTableLookupErrors(t *testing.T) {
+	c := NewBuilder("db").Table("t", 10).Column("a", 5).Build()
+	if _, err := c.Table("missing"); err == nil {
+		t.Fatal("want error for unknown table")
+	}
+	if _, err := c.MustTable("t").Column("missing"); err == nil {
+		t.Fatal("want error for unknown column")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"dup table", func() { NewBuilder("x").Table("t", 1).Table("t", 1) }},
+		{"dup column", func() { NewBuilder("x").Table("t", 1).Column("a", 1).Column("a", 1) }},
+		{"column before table", func() { NewBuilder("x").Column("a", 1) }},
+		{"index missing column", func() { NewBuilder("x").Table("t", 1).Index("i", false, "nope") }},
+		{"index no columns", func() { NewBuilder("x").Table("t", 1).Index("i", false) }},
+		{"partition missing column", func() { NewBuilder("x").Table("t", 1).Partition(4, "nope") }},
+		{"partition zero nodes", func() { NewBuilder("x").Table("t", 1).Column("a", 1).Partition(0, "a") }},
+		{"fk arity", func() {
+			NewBuilder("x").Table("t", 1).Column("a", 1).ForeignKey("r", []string{"a"}, nil)
+		}},
+		{"fk missing local column", func() {
+			NewBuilder("x").Table("t", 1).ForeignKey("r", []string{"nope"}, []string{"b"})
+		}},
+		{"fk unknown ref table", func() {
+			NewBuilder("x").Table("t", 1).Column("a", 1).
+				ForeignKey("r", []string{"a"}, []string{"b"}).Build()
+		}},
+		{"fk unknown ref column", func() {
+			b := NewBuilder("x")
+			b.Table("r", 1).Column("c", 1)
+			b.Table("t", 1).Column("a", 1).ForeignKey("r", []string{"a"}, []string{"nope"})
+			b.Build()
+		}},
+		{"reuse after build", func() {
+			b := NewBuilder("x").Table("t", 1)
+			b.Build()
+			b.Table("u", 1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestTableNamesSortedAndCopied(t *testing.T) {
+	c := NewBuilder("x").Table("zeta", 1).Table("alpha", 1).Build()
+	names := c.TableNames()
+	if names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+	names[0] = "mutated"
+	if c.TableNames()[0] != "alpha" {
+		t.Fatal("TableNames returned internal slice")
+	}
+	if c.NumTables() != 2 {
+		t.Fatalf("NumTables = %d", c.NumTables())
+	}
+}
+
+func TestRowCountFloor(t *testing.T) {
+	c := NewBuilder("x").Table("t", 0).Column("a", 0).Build()
+	tab := c.MustTable("t")
+	if tab.RowCount != 1 || tab.MustColumn("a").NDV != 1 {
+		t.Fatal("row count / NDV floor not applied")
+	}
+}
+
+func TestTPCHSchema(t *testing.T) {
+	c := TPCH(1, 1)
+	if c.NumTables() != 8 {
+		t.Fatalf("TPC-H has %d tables, want 8", c.NumTables())
+	}
+	li := c.MustTable("lineitem")
+	if li.RowCount != 6_000_000 {
+		t.Fatalf("lineitem rows = %v", li.RowCount)
+	}
+	if li.Partitioning != nil {
+		t.Fatal("serial TPC-H should be unpartitioned")
+	}
+	// FK chain lineitem -> orders -> customer -> nation -> region resolves.
+	for _, tab := range []string{"lineitem", "orders", "customer", "nation"} {
+		if len(c.MustTable(tab).ForeignKeys) == 0 {
+			t.Fatalf("%s has no foreign keys", tab)
+		}
+	}
+}
+
+func TestTPCHParallelPartitioning(t *testing.T) {
+	c := TPCH(1, 4)
+	for _, tab := range []string{"lineitem", "orders", "customer", "part", "partsupp", "supplier"} {
+		p := c.MustTable(tab).Partitioning
+		if p == nil || p.Nodes != 4 || len(p.Columns) == 0 {
+			t.Fatalf("%s: bad partitioning %+v", tab, p)
+		}
+		for _, col := range p.Columns {
+			if !c.MustTable(tab).HasColumn(col) {
+				t.Fatalf("%s partitioned on unknown column %s", tab, col)
+			}
+		}
+	}
+	if c.MustTable("nation").Partitioning != nil {
+		t.Fatal("small table should stay unpartitioned (replicated)")
+	}
+}
+
+func TestTPCHScaleFactor(t *testing.T) {
+	c := TPCH(0.1, 1)
+	if got := c.MustTable("lineitem").RowCount; got != 600_000 {
+		t.Fatalf("lineitem at sf=0.1 = %v", got)
+	}
+	// Non-positive scale defaults to 1.
+	c = TPCH(-1, 1)
+	if got := c.MustTable("orders").RowCount; got != 1_500_000 {
+		t.Fatalf("orders at default sf = %v", got)
+	}
+}
+
+func TestWarehouseSchemasResolve(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    *Catalog
+		min  int
+	}{
+		{"warehouse1 serial", Warehouse1(1), 13},
+		{"warehouse1 parallel", Warehouse1(4), 13},
+		{"warehouse2 serial", Warehouse2(1), 16},
+		{"warehouse2 parallel", Warehouse2(4), 16},
+	} {
+		if tc.c.NumTables() < tc.min {
+			t.Errorf("%s: %d tables, want >= %d", tc.name, tc.c.NumTables(), tc.min)
+		}
+		// Every FK must reference resolvable tables/columns (Build validates,
+		// but assert reachability here too).
+		for _, name := range tc.c.TableNames() {
+			tab := tc.c.MustTable(name)
+			for _, fk := range tab.ForeignKeys {
+				ref := tc.c.MustTable(fk.RefTable)
+				for _, rc := range fk.RefColumns {
+					ref.MustColumn(rc)
+				}
+			}
+			for _, ix := range tab.Indexes {
+				if !strings.HasPrefix(ix.Name, "pk_") && !strings.HasPrefix(ix.Name, "ix_") {
+					t.Errorf("%s: index %q doesn't follow naming scheme", name, ix.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestWarehouseParallelPartitioning(t *testing.T) {
+	c := Warehouse1(4)
+	if p := c.MustTable("sales").Partitioning; p == nil || p.Columns[0] != "s_cust_id" {
+		t.Fatalf("sales partitioning = %+v", p)
+	}
+	if c.MustTable("region").Partitioning != nil {
+		t.Fatal("tiny dimension should stay unpartitioned")
+	}
+}

@@ -1,0 +1,121 @@
+package catalog
+
+// TPCH builds the TPC-H benchmark schema at the given scale factor. Row
+// counts follow the TPC-H specification (revision 1.1.0, the version cited
+// by the paper); NDVs are the spec's domain sizes. When nodes > 1 the large
+// tables are hash partitioned on their primary keys across that many logical
+// nodes, matching the 4-logical-node shared-nothing setup in the paper's
+// parallel experiments.
+func TPCH(scale float64, nodes int) *Catalog {
+	if scale <= 0 {
+		scale = 1
+	}
+	sf := scale
+	b := NewBuilder("tpch")
+
+	b.Table("region", 5).
+		Column("r_regionkey", 5).
+		Column("r_name", 5).
+		Column("r_comment", 5).
+		Index("pk_region", true, "r_regionkey")
+
+	b.Table("nation", 25).
+		Column("n_nationkey", 25).
+		Column("n_name", 25).
+		Column("n_regionkey", 5).
+		Column("n_comment", 25).
+		Index("pk_nation", true, "n_nationkey").
+		ForeignKey("region", []string{"n_regionkey"}, []string{"r_regionkey"})
+
+	b.Table("supplier", 10_000*sf).
+		Column("s_suppkey", 10_000*sf).
+		Column("s_name", 10_000*sf).
+		Column("s_address", 10_000*sf).
+		Column("s_nationkey", 25).
+		Column("s_phone", 10_000*sf).
+		Column("s_acctbal", 9_000*sf).
+		Column("s_comment", 10_000*sf).
+		Index("pk_supplier", true, "s_suppkey").
+		ForeignKey("nation", []string{"s_nationkey"}, []string{"n_nationkey"})
+
+	b.Table("part", 200_000*sf).
+		Column("p_partkey", 200_000*sf).
+		Column("p_name", 200_000*sf).
+		Column("p_mfgr", 5).
+		Column("p_brand", 25).
+		Column("p_type", 150).
+		Column("p_size", 50).
+		Column("p_container", 40).
+		Column("p_retailprice", 20_000*sf).
+		Column("p_comment", 130_000*sf).
+		Index("pk_part", true, "p_partkey")
+
+	b.Table("partsupp", 800_000*sf).
+		Column("ps_partkey", 200_000*sf).
+		Column("ps_suppkey", 10_000*sf).
+		Column("ps_availqty", 9_999).
+		Column("ps_supplycost", 100_000).
+		Column("ps_comment", 800_000*sf).
+		Index("pk_partsupp", true, "ps_partkey", "ps_suppkey").
+		ForeignKey("part", []string{"ps_partkey"}, []string{"p_partkey"}).
+		ForeignKey("supplier", []string{"ps_suppkey"}, []string{"s_suppkey"})
+
+	b.Table("customer", 150_000*sf).
+		Column("c_custkey", 150_000*sf).
+		Column("c_name", 150_000*sf).
+		Column("c_address", 150_000*sf).
+		Column("c_nationkey", 25).
+		Column("c_phone", 150_000*sf).
+		Column("c_acctbal", 140_000*sf).
+		Column("c_mktsegment", 5).
+		Column("c_comment", 150_000*sf).
+		Index("pk_customer", true, "c_custkey").
+		ForeignKey("nation", []string{"c_nationkey"}, []string{"n_nationkey"})
+
+	b.Table("orders", 1_500_000*sf).
+		Column("o_orderkey", 1_500_000*sf).
+		Column("o_custkey", 100_000*sf).
+		Column("o_orderstatus", 3).
+		Column("o_totalprice", 1_400_000*sf).
+		Column("o_orderdate", 2_406).
+		Column("o_orderpriority", 5).
+		Column("o_clerk", 1_000*sf).
+		Column("o_shippriority", 1).
+		Column("o_comment", 1_400_000*sf).
+		Index("pk_orders", true, "o_orderkey").
+		Index("ix_orders_custkey", false, "o_custkey").
+		ForeignKey("customer", []string{"o_custkey"}, []string{"c_custkey"})
+
+	b.Table("lineitem", 6_000_000*sf).
+		Column("l_orderkey", 1_500_000*sf).
+		Column("l_partkey", 200_000*sf).
+		Column("l_suppkey", 10_000*sf).
+		Column("l_linenumber", 7).
+		Column("l_quantity", 50).
+		Column("l_extendedprice", 1_000_000*sf).
+		Column("l_discount", 11).
+		Column("l_tax", 9).
+		Column("l_returnflag", 3).
+		Column("l_linestatus", 2).
+		Column("l_shipdate", 2_526).
+		Column("l_commitdate", 2_466).
+		Column("l_receiptdate", 2_555).
+		Column("l_shipinstruct", 4).
+		Column("l_shipmode", 7).
+		Column("l_comment", 4_500_000*sf).
+		Index("pk_lineitem", true, "l_orderkey", "l_linenumber").
+		Index("ix_lineitem_partsupp", false, "l_partkey", "l_suppkey").
+		ForeignKey("orders", []string{"l_orderkey"}, []string{"o_orderkey"}).
+		ForeignKey("partsupp", []string{"l_partkey", "l_suppkey"}, []string{"ps_partkey", "ps_suppkey"})
+
+	c := b.Build()
+	if nodes > 1 {
+		c.MustTable("lineitem").Partitioning = &Partitioning{Columns: []string{"l_orderkey"}, Nodes: nodes}
+		c.MustTable("orders").Partitioning = &Partitioning{Columns: []string{"o_orderkey"}, Nodes: nodes}
+		c.MustTable("customer").Partitioning = &Partitioning{Columns: []string{"c_custkey"}, Nodes: nodes}
+		c.MustTable("part").Partitioning = &Partitioning{Columns: []string{"p_partkey"}, Nodes: nodes}
+		c.MustTable("partsupp").Partitioning = &Partitioning{Columns: []string{"ps_partkey"}, Nodes: nodes}
+		c.MustTable("supplier").Partitioning = &Partitioning{Columns: []string{"s_suppkey"}, Nodes: nodes}
+	}
+	return c
+}

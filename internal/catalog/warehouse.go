@@ -1,0 +1,330 @@
+package catalog
+
+// Warehouse1 builds the schema behind the "real1" customer workload: a
+// retail data warehouse with two fact tables and a ring of dimensions. The
+// paper's real1 workload (8 complex data-warehouse queries) and its random
+// workload both run over this schema. When nodes > 1 the fact tables are
+// hash partitioned on their most frequent join keys and the dimensions on
+// their primary keys, mimicking a tuned shared-nothing layout.
+func Warehouse1(nodes int) *Catalog {
+	b := NewBuilder("warehouse1")
+
+	b.Table("sales", 20_000_000).
+		Column("s_id", 20_000_000).
+		Column("s_store_id", 1_000).
+		Column("s_prod_id", 50_000).
+		Column("s_cust_id", 2_000_000).
+		Column("s_date_id", 1_825).
+		Column("s_promo_id", 500).
+		Column("s_emp_id", 20_000).
+		Column("s_qty", 100).
+		Column("s_amount", 1_000_000).
+		Column("s_discount", 50).
+		Index("pk_sales", true, "s_id").
+		Index("ix_sales_prod_date", false, "s_prod_id", "s_date_id").
+		Index("ix_sales_cust", false, "s_cust_id").
+		ForeignKey("store", []string{"s_store_id"}, []string{"st_id"}).
+		ForeignKey("product", []string{"s_prod_id"}, []string{"p_id"}).
+		ForeignKey("customer", []string{"s_cust_id"}, []string{"c_id"}).
+		ForeignKey("datedim", []string{"s_date_id"}, []string{"d_id"}).
+		ForeignKey("promotion", []string{"s_promo_id"}, []string{"pr_id"}).
+		ForeignKey("employee", []string{"s_emp_id"}, []string{"e_id"})
+
+	b.Table("returns", 1_200_000).
+		Column("r_id", 1_200_000).
+		Column("r_sale_id", 1_200_000).
+		Column("r_prod_id", 48_000).
+		Column("r_cust_id", 500_000).
+		Column("r_date_id", 1_825).
+		Column("r_reason_id", 60).
+		Column("r_amount", 300_000).
+		Index("pk_returns", true, "r_id").
+		Index("ix_returns_sale", false, "r_sale_id").
+		ForeignKey("sales", []string{"r_sale_id"}, []string{"s_id"}).
+		ForeignKey("product", []string{"r_prod_id"}, []string{"p_id"}).
+		ForeignKey("customer", []string{"r_cust_id"}, []string{"c_id"}).
+		ForeignKey("datedim", []string{"r_date_id"}, []string{"d_id"}).
+		ForeignKey("reason", []string{"r_reason_id"}, []string{"rs_id"})
+
+	b.Table("inventory", 9_000_000).
+		Column("i_prod_id", 50_000).
+		Column("i_wh_id", 40).
+		Column("i_date_id", 1_825).
+		Column("i_on_hand", 5_000).
+		Index("pk_inventory", true, "i_prod_id", "i_wh_id", "i_date_id").
+		ForeignKey("product", []string{"i_prod_id"}, []string{"p_id"}).
+		ForeignKey("warehouse", []string{"i_wh_id"}, []string{"w_id"}).
+		ForeignKey("datedim", []string{"i_date_id"}, []string{"d_id"})
+
+	b.Table("store", 1_000).
+		Column("st_id", 1_000).
+		Column("st_name", 1_000).
+		Column("st_city", 250).
+		Column("st_state", 50).
+		Column("st_region_id", 10).
+		Column("st_sqft", 900).
+		Index("pk_store", true, "st_id").
+		ForeignKey("region", []string{"st_region_id"}, []string{"rg_id"})
+
+	b.Table("product", 50_000).
+		Column("p_id", 50_000).
+		Column("p_name", 50_000).
+		Column("p_brand_id", 800).
+		Column("p_category", 40).
+		Column("p_class", 120).
+		Column("p_price", 10_000).
+		Column("p_supp_id", 2_000).
+		Index("pk_product", true, "p_id").
+		Index("ix_product_brand", false, "p_brand_id").
+		ForeignKey("supplier", []string{"p_supp_id"}, []string{"sp_id"})
+
+	b.Table("customer", 2_000_000).
+		Column("c_id", 2_000_000).
+		Column("c_name", 2_000_000).
+		Column("c_city", 5_000).
+		Column("c_state", 50).
+		Column("c_segment", 8).
+		Column("c_birth_year", 90).
+		Column("c_first_sale_date_id", 1_825).
+		Index("pk_customer", true, "c_id").
+		ForeignKey("datedim", []string{"c_first_sale_date_id"}, []string{"d_id"})
+
+	b.Table("datedim", 1_825).
+		Column("d_id", 1_825).
+		Column("d_date", 1_825).
+		Column("d_month", 60).
+		Column("d_quarter", 20).
+		Column("d_year", 5).
+		Column("d_dow", 7).
+		Column("d_holiday", 2).
+		Index("pk_datedim", true, "d_id")
+
+	b.Table("promotion", 500).
+		Column("pr_id", 500).
+		Column("pr_name", 500).
+		Column("pr_channel", 6).
+		Column("pr_start_date_id", 400).
+		Column("pr_end_date_id", 400).
+		Index("pk_promotion", true, "pr_id").
+		ForeignKey("datedim", []string{"pr_start_date_id"}, []string{"d_id"})
+
+	b.Table("employee", 20_000).
+		Column("e_id", 20_000).
+		Column("e_name", 20_000).
+		Column("e_store_id", 1_000).
+		Column("e_mgr_id", 2_500).
+		Column("e_title", 30).
+		Index("pk_employee", true, "e_id").
+		ForeignKey("store", []string{"e_store_id"}, []string{"st_id"})
+
+	b.Table("supplier", 2_000).
+		Column("sp_id", 2_000).
+		Column("sp_name", 2_000).
+		Column("sp_state", 50).
+		Column("sp_rating", 5).
+		Index("pk_supplier", true, "sp_id")
+
+	b.Table("warehouse", 40).
+		Column("w_id", 40).
+		Column("w_name", 40).
+		Column("w_state", 30).
+		Column("w_sqft", 40).
+		Index("pk_warehouse", true, "w_id")
+
+	b.Table("region", 10).
+		Column("rg_id", 10).
+		Column("rg_name", 10).
+		Index("pk_region", true, "rg_id")
+
+	b.Table("reason", 60).
+		Column("rs_id", 60).
+		Column("rs_desc", 60).
+		Index("pk_reason", true, "rs_id")
+
+	c := b.Build()
+	if nodes > 1 {
+		part := func(table string, cols ...string) {
+			c.MustTable(table).Partitioning = &Partitioning{Columns: cols, Nodes: nodes}
+		}
+		part("sales", "s_cust_id")
+		part("returns", "r_cust_id")
+		part("inventory", "i_prod_id")
+		part("customer", "c_id")
+		part("product", "p_id")
+		part("employee", "e_id")
+	}
+	return c
+}
+
+// Warehouse2 builds the schema behind the "real2" customer workload: a
+// larger financial/orders warehouse with enough dimensions that a single
+// query can join 14 tables (the paper's headline real2 query joins 14 tables
+// constructed from 3 views). When nodes > 1 the large tables are hash
+// partitioned.
+func Warehouse2(nodes int) *Catalog {
+	b := NewBuilder("warehouse2")
+
+	b.Table("orders", 40_000_000).
+		Column("o_id", 40_000_000).
+		Column("o_acct_id", 3_000_000).
+		Column("o_prod_id", 80_000).
+		Column("o_branch_id", 2_000).
+		Column("o_date_id", 2_600).
+		Column("o_channel_id", 12).
+		Column("o_status", 6).
+		Column("o_amount", 2_000_000).
+		Column("o_units", 500).
+		Index("pk_orders", true, "o_id").
+		Index("ix_orders_acct_date", false, "o_acct_id", "o_date_id").
+		ForeignKey("account", []string{"o_acct_id"}, []string{"a_id"}).
+		ForeignKey("product", []string{"o_prod_id"}, []string{"p_id"}).
+		ForeignKey("branch", []string{"o_branch_id"}, []string{"b_id"}).
+		ForeignKey("datedim", []string{"o_date_id"}, []string{"d_id"}).
+		ForeignKey("channel", []string{"o_channel_id"}, []string{"ch_id"})
+
+	b.Table("orderline", 120_000_000).
+		Column("ol_order_id", 40_000_000).
+		Column("ol_line_no", 10).
+		Column("ol_prod_id", 80_000).
+		Column("ol_qty", 200).
+		Column("ol_price", 900_000).
+		Column("ol_cost", 800_000).
+		Index("pk_orderline", true, "ol_order_id", "ol_line_no").
+		ForeignKey("orders", []string{"ol_order_id"}, []string{"o_id"}).
+		ForeignKey("product", []string{"ol_prod_id"}, []string{"p_id"})
+
+	b.Table("payments", 55_000_000).
+		Column("pay_id", 55_000_000).
+		Column("pay_order_id", 38_000_000).
+		Column("pay_acct_id", 3_000_000).
+		Column("pay_date_id", 2_600).
+		Column("pay_method_id", 9).
+		Column("pay_amount", 1_500_000).
+		Index("pk_payments", true, "pay_id").
+		Index("ix_payments_order", false, "pay_order_id").
+		ForeignKey("orders", []string{"pay_order_id"}, []string{"o_id"}).
+		ForeignKey("account", []string{"pay_acct_id"}, []string{"a_id"}).
+		ForeignKey("datedim", []string{"pay_date_id"}, []string{"d_id"}).
+		ForeignKey("paymethod", []string{"pay_method_id"}, []string{"pm_id"})
+
+	b.Table("account", 3_000_000).
+		Column("a_id", 3_000_000).
+		Column("a_cust_id", 2_500_000).
+		Column("a_type", 8).
+		Column("a_open_date_id", 2_600).
+		Column("a_branch_id", 2_000).
+		Column("a_balance", 800_000).
+		Index("pk_account", true, "a_id").
+		ForeignKey("customer", []string{"a_cust_id"}, []string{"cu_id"}).
+		ForeignKey("branch", []string{"a_branch_id"}, []string{"b_id"}).
+		ForeignKey("datedim", []string{"a_open_date_id"}, []string{"d_id"})
+
+	b.Table("customer", 2_500_000).
+		Column("cu_id", 2_500_000).
+		Column("cu_name", 2_500_000).
+		Column("cu_city", 8_000).
+		Column("cu_state", 50).
+		Column("cu_segment", 10).
+		Column("cu_income_band", 20).
+		Index("pk_customer", true, "cu_id")
+
+	b.Table("product", 80_000).
+		Column("p_id", 80_000).
+		Column("p_name", 80_000).
+		Column("p_family", 60).
+		Column("p_line", 300).
+		Column("p_vendor_id", 1_200).
+		Column("p_unit_cost", 30_000).
+		Index("pk_product", true, "p_id").
+		ForeignKey("vendor", []string{"p_vendor_id"}, []string{"v_id"})
+
+	b.Table("branch", 2_000).
+		Column("b_id", 2_000).
+		Column("b_name", 2_000).
+		Column("b_city", 600).
+		Column("b_region_id", 15).
+		Column("b_tier", 4).
+		Index("pk_branch", true, "b_id").
+		ForeignKey("region", []string{"b_region_id"}, []string{"rg_id"})
+
+	b.Table("datedim", 2_600).
+		Column("d_id", 2_600).
+		Column("d_date", 2_600).
+		Column("d_month", 86).
+		Column("d_quarter", 29).
+		Column("d_year", 8).
+		Column("d_fiscal_period", 96).
+		Index("pk_datedim", true, "d_id")
+
+	b.Table("channel", 12).
+		Column("ch_id", 12).
+		Column("ch_name", 12).
+		Index("pk_channel", true, "ch_id")
+
+	b.Table("paymethod", 9).
+		Column("pm_id", 9).
+		Column("pm_name", 9).
+		Index("pk_paymethod", true, "pm_id")
+
+	b.Table("vendor", 1_200).
+		Column("v_id", 1_200).
+		Column("v_name", 1_200).
+		Column("v_country", 40).
+		Index("pk_vendor", true, "v_id")
+
+	b.Table("region", 15).
+		Column("rg_id", 15).
+		Column("rg_name", 15).
+		Index("pk_region", true, "rg_id")
+
+	b.Table("exchange", 3_000).
+		Column("x_date_id", 2_600).
+		Column("x_currency", 30).
+		Column("x_rate", 2_900).
+		Index("pk_exchange", true, "x_date_id", "x_currency").
+		ForeignKey("datedim", []string{"x_date_id"}, []string{"d_id"})
+
+	b.Table("budget", 250_000).
+		Column("bg_branch_id", 2_000).
+		Column("bg_prod_id", 70_000).
+		Column("bg_period", 96).
+		Column("bg_target", 200_000).
+		Index("pk_budget", true, "bg_branch_id", "bg_prod_id", "bg_period").
+		ForeignKey("branch", []string{"bg_branch_id"}, []string{"b_id"}).
+		ForeignKey("product", []string{"bg_prod_id"}, []string{"p_id"})
+
+	b.Table("campaign", 900).
+		Column("cp_id", 900).
+		Column("cp_channel_id", 12).
+		Column("cp_start_date_id", 2_000).
+		Column("cp_budget", 850).
+		Index("pk_campaign", true, "cp_id").
+		ForeignKey("channel", []string{"cp_channel_id"}, []string{"ch_id"}).
+		ForeignKey("datedim", []string{"cp_start_date_id"}, []string{"d_id"})
+
+	b.Table("contact", 6_000_000).
+		Column("ct_id", 6_000_000).
+		Column("ct_cust_id", 2_400_000).
+		Column("ct_date_id", 2_600).
+		Column("ct_campaign_id", 900).
+		Column("ct_outcome", 5).
+		Index("pk_contact", true, "ct_id").
+		ForeignKey("customer", []string{"ct_cust_id"}, []string{"cu_id"}).
+		ForeignKey("datedim", []string{"ct_date_id"}, []string{"d_id"}).
+		ForeignKey("campaign", []string{"ct_campaign_id"}, []string{"cp_id"})
+
+	c := b.Build()
+	if nodes > 1 {
+		part := func(table string, cols ...string) {
+			c.MustTable(table).Partitioning = &Partitioning{Columns: cols, Nodes: nodes}
+		}
+		part("orders", "o_acct_id")
+		part("orderline", "ol_order_id")
+		part("payments", "pay_order_id")
+		part("account", "a_id")
+		part("customer", "cu_id")
+		part("contact", "ct_cust_id")
+		part("product", "p_id")
+	}
+	return c
+}

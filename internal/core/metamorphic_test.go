@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cote/internal/catalog"
+	"cote/internal/enum"
+	"cote/internal/opt"
+	"cote/internal/props"
+	"cote/internal/query"
+)
+
+// randBlock generates a random connected query over a random schema: a
+// metamorphic fixture for the estimator's structural invariants.
+func randBlock(rng *rand.Rand) *query.Block {
+	n := 3 + rng.Intn(5)
+	cb := catalog.NewBuilder("meta")
+	for t := 0; t < n; t++ {
+		tb := cb.Table(tn(t), float64(100*(1+rng.Intn(1000))))
+		for c := 0; c < 4; c++ {
+			tb.Column(cn2(c), float64(1+rng.Intn(1000)))
+		}
+		if rng.Intn(3) == 0 {
+			tb.Index("ix_"+tn(t), false, cn2(rng.Intn(4)))
+		}
+	}
+	cat := cb.Build()
+
+	qb := query.NewBuilder("meta", cat)
+	for t := 0; t < n; t++ {
+		qb.AddTable(tn(t), "")
+	}
+	// Spanning tree keeps the graph connected; extra random edges add
+	// cycles (and the transitive closure adds more).
+	for t := 1; t < n; t++ {
+		peer := rng.Intn(t)
+		qb.JoinEq(tn(peer), cn2(rng.Intn(4)), tn(t), cn2(rng.Intn(4)))
+	}
+	for extra := rng.Intn(3); extra > 0; extra-- {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		qb.JoinEq(tn(a), cn2(rng.Intn(4)), tn(b), cn2(rng.Intn(4)))
+	}
+	for f := rng.Intn(3); f > 0; f-- {
+		qb.FilterEq(tn(rng.Intn(n)), cn2(rng.Intn(4)))
+	}
+	if rng.Intn(2) == 0 {
+		qb.OrderBy(qb.Col(tn(rng.Intn(n)), cn2(rng.Intn(4))))
+	}
+	if rng.Intn(3) == 0 {
+		qb.GroupBy(qb.Col(tn(rng.Intn(n)), cn2(rng.Intn(4))))
+	}
+	blk, err := qb.Build()
+	if err != nil {
+		panic(err)
+	}
+	return blk
+}
+
+func tn(t int) string  { return "mt" + string(rune('a'+t)) }
+func cn2(c int) string { return "c" + string(rune('0'+c)) }
+
+// TestMetamorphicEstimatorInvariants checks, over many random queries, the
+// structural invariants the paper's method guarantees:
+//
+//  1. without Cartesian products, real optimization and plan-estimate mode
+//     enumerate the same joins (the join enumerator is reusable);
+//  2. serial HSJN estimates are exact (2x the joins with equality preds);
+//  3. estimates and actuals stay within a constant factor;
+//  4. the estimator runs without error on whatever the generator produces.
+func TestMetamorphicEstimatorInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < 60; trial++ {
+		blk := randBlock(rng)
+		res, err := opt.Optimize(blk, opt.Options{
+			Level: opt.LevelHigh, CartesianPolicy: enum.CartesianNever,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: optimize: %v", trial, err)
+		}
+		est, err := EstimatePlans(blk, Options{
+			Level: opt.LevelHigh, CartesianPolicy: enum.CartesianNever,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: estimate: %v", trial, err)
+		}
+
+		ordered, _ := res.TotalJoins()
+		if est.Joins != ordered {
+			t.Fatalf("trial %d: estimator enumerated %d joins, optimizer %d",
+				trial, est.Joins, ordered)
+		}
+		actual := CountsFrom(res.TotalCounters())
+		if est.Counts.ByMethod[props.HSJN] != actual.ByMethod[props.HSJN] {
+			t.Fatalf("trial %d: serial HSJN estimate %d != actual %d (query %d tables, %d preds)",
+				trial, est.Counts.ByMethod[props.HSJN], actual.ByMethod[props.HSJN],
+				blk.NumTables(), len(blk.JoinPreds))
+		}
+		if actual.Total() > 0 {
+			ratio := float64(est.Counts.Total()) / float64(actual.Total())
+			if ratio < 0.3 || ratio > 3 {
+				t.Fatalf("trial %d: estimate %d vs actual %d (ratio %.2f)",
+					trial, est.Counts.Total(), actual.Total(), ratio)
+			}
+		}
+	}
+}
+
+// TestMetamorphicLevelMonotonicity: larger search spaces never enumerate
+// fewer joins or estimate fewer plans.
+func TestMetamorphicLevelMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	levels := []opt.Level{opt.LevelMediumLeftDeep, opt.LevelMediumZigZag, opt.LevelHigh}
+	for trial := 0; trial < 25; trial++ {
+		blk := randBlock(rng)
+		prevJoins, prevPlans := -1, -1
+		for _, l := range levels {
+			est, err := EstimatePlans(blk, Options{Level: l, CartesianPolicy: enum.CartesianNever})
+			if err != nil {
+				t.Fatalf("trial %d level %v: %v", trial, l, err)
+			}
+			if est.Joins < prevJoins {
+				t.Fatalf("trial %d: joins not monotone across levels (%d < %d at %v)",
+					trial, est.Joins, prevJoins, l)
+			}
+			if est.Counts.Total() < prevPlans {
+				t.Fatalf("trial %d: plans not monotone across levels (%d < %d at %v)",
+					trial, est.Counts.Total(), prevPlans, l)
+			}
+			prevJoins, prevPlans = est.Joins, est.Counts.Total()
+		}
+	}
+}
+
+// TestMetamorphicDeterminism: estimating the same query twice gives
+// identical counts (no hidden map-iteration dependence).
+func TestMetamorphicDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		blk := randBlock(rng)
+		a, err := EstimatePlans(blk, Options{CartesianPolicy: enum.CartesianNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := EstimatePlans(blk, Options{CartesianPolicy: enum.CartesianNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Counts != b.Counts || a.Joins != b.Joins {
+			t.Fatalf("trial %d: nondeterministic estimate: %v vs %v", trial, a.Counts, b.Counts)
+		}
+	}
+}

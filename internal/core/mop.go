@@ -1,0 +1,104 @@
+package core
+
+import (
+	"time"
+
+	"cote/internal/cost"
+	"cote/internal/opt"
+	"cote/internal/query"
+)
+
+// MOPDecision records what the meta-optimizer chose and why.
+type MOPDecision struct {
+	// LowPlanExecCost is E: the estimated execution time of the plan found
+	// at the low optimization level.
+	LowPlanExecCost time.Duration
+	// HighCompileEstimate is C: the estimated compilation time of the high
+	// level.
+	HighCompileEstimate time.Duration
+	// Recompiled reports whether C < threshold*E triggered high-level
+	// reoptimization.
+	Recompiled bool
+	// FinalLevel is the level whose plan was returned.
+	FinalLevel opt.Level
+	// FinalPlanCost is the execution cost estimate of the returned plan,
+	// as a duration.
+	FinalPlanCost time.Duration
+	// TotalElapsed is the wall time the whole meta-optimization took
+	// (low-level compile + estimation + optional high-level compile).
+	TotalElapsed time.Duration
+}
+
+// MOP is the simple meta-optimizer of Figure 1: compile at the low level,
+// obtain the execution-cost estimate E of the plan found, ask the COTE for
+// the high level's compilation time C, and recompile at the high level only
+// when C < Threshold*E — if the query would finish executing before the
+// high-level optimizer does, further optimization is pointless.
+type MOP struct {
+	// High is the high optimization level (default LevelHighInner2).
+	High opt.Level
+	// Config selects serial or parallel.
+	Config *cost.Config
+	// Model converts plan counts to compilation time; required.
+	Model *TimeModel
+	// ExecTinst converts plan execution cost units to time (the executor's
+	// seconds-per-instruction; defaults to the model's Tinst).
+	ExecTinst float64
+	// Threshold scales E: recompile when C < Threshold*E. Values below 1
+	// demand a clear margin; the default is 1, the paper's "if C is larger
+	// than E, there is no point in further optimization".
+	Threshold float64
+	// Static marks a statically compiled (repeatedly executed) query; the
+	// paper suggests spending more on those, modeled as a 10x threshold.
+	Static bool
+}
+
+// Run executes the meta-optimization loop on a query and returns the chosen
+// plan's result plus the decision record.
+func (m *MOP) Run(blk *query.Block) (*opt.Result, *MOPDecision, error) {
+	start := time.Now()
+	high := m.High
+	if high == opt.LevelLow {
+		high = opt.LevelHighInner2
+	}
+	execTinst := m.ExecTinst
+	if execTinst == 0 && m.Model != nil {
+		execTinst = m.Model.Tinst
+	}
+	threshold := m.Threshold
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if m.Static {
+		threshold *= 10
+	}
+
+	low, err := opt.Optimize(blk, opt.Options{Level: opt.LevelLow, Config: m.Config})
+	if err != nil {
+		return nil, nil, err
+	}
+	dec := &MOPDecision{
+		LowPlanExecCost: time.Duration(low.Plan.Cost * execTinst * float64(time.Second)),
+		FinalLevel:      opt.LevelLow,
+		FinalPlanCost:   time.Duration(low.Plan.Cost * execTinst * float64(time.Second)),
+	}
+
+	est, err := EstimatePlans(blk, Options{Level: high, Config: m.Config, Model: m.Model})
+	if err != nil {
+		return nil, nil, err
+	}
+	dec.HighCompileEstimate = est.PredictedTime
+
+	result := low
+	if float64(dec.HighCompileEstimate) < threshold*float64(dec.LowPlanExecCost) {
+		dec.Recompiled = true
+		dec.FinalLevel = high
+		result, err = opt.Optimize(blk, opt.Options{Level: high, Config: m.Config})
+		if err != nil {
+			return nil, nil, err
+		}
+		dec.FinalPlanCost = time.Duration(result.Plan.Cost * execTinst * float64(time.Second))
+	}
+	dec.TotalElapsed = time.Since(start)
+	return result, dec, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cote/internal/cost"
+	"cote/internal/enum"
+	"cote/internal/memo"
+	"cote/internal/opt"
+	"cote/internal/props"
+	"cote/internal/query"
+)
+
+// MultiLevelEstimate holds per-level plan counts obtained from a single
+// enumeration pass at the highest level — the Section 6.2 extension: "It's
+// possible to estimate the compilation time of multiple levels of
+// optimization in a single pass, as long as the search space of the highest
+// level subsumes that of all other levels."
+type MultiLevelEstimate struct {
+	Levels  []opt.Level
+	Counts  map[opt.Level]PlanCounts
+	Joins   map[opt.Level]int
+	Elapsed time.Duration
+}
+
+// EstimateLevels runs one enumeration at the top level and accumulates plan
+// counts separately for every requested level whose search space the top
+// level subsumes. The amortization is the point: one enumeration pays for
+// all level estimates.
+func EstimateLevels(blk *query.Block, top opt.Level, levels []opt.Level, opts Options) (*MultiLevelEstimate, error) {
+	start := time.Now()
+	for _, l := range levels {
+		if l == opt.LevelLow {
+			return nil, fmt.Errorf("core: the greedy level has no plan-count estimate")
+		}
+		if !top.Subsumes(l) {
+			return nil, fmt.Errorf("core: level %v does not subsume %v", top, l)
+		}
+	}
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = cost.Serial
+	}
+
+	out := &MultiLevelEstimate{
+		Levels: levels,
+		Counts: make(map[opt.Level]PlanCounts),
+		Joins:  make(map[opt.Level]int),
+	}
+	for _, b := range blk.Blocks() {
+		card := cost.NewEstimator(b, cost.Simple)
+		sc := props.NewScope(b)
+		mem := memo.New(b.NumTables())
+
+		// One counter per level, sharing the single enumeration. Property
+		// propagation runs once (on the top-level counter); the per-level
+		// counters only accumulate counts for the joins inside their space.
+		counters := make(map[opt.Level]*counter, len(levels))
+		for _, l := range levels {
+			counters[l] = newCounter(b, sc, cfg.Nodes, opts.OrderPolicy, opts.ListMode, opts.PropagateEveryJoin)
+		}
+		topCnt := newCounter(b, sc, cfg.Nodes, opts.OrderPolicy, opts.ListMode, opts.PropagateEveryJoin)
+
+		hooks := enum.Hooks{
+			Init: topCnt.initialize,
+			Join: func(outer, inner, result *memo.Entry) {
+				for _, l := range levels {
+					if levelAdmits(l, outer, inner) {
+						// Count without re-propagating: share the lists
+						// built by the top counter.
+						counters[l].countOnly(outer, inner, result)
+					}
+				}
+				topCnt.accumulatePlans(outer, inner, result)
+			},
+		}
+		eopts := top.EnumOptions()
+		eopts.Cartesian = opts.CartesianPolicy
+		if _, err := enum.New(b, mem, card, eopts).Run(hooks); err != nil {
+			return nil, err
+		}
+		for _, l := range levels {
+			c := out.Counts[l]
+			c.Add(counters[l].counts)
+			out.Counts[l] = c
+			out.Joins[l] += counters[l].joins
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// levelAdmits reports whether the (outer, inner) orientation lies in the
+// search space of the level.
+func levelAdmits(l opt.Level, outer, inner *memo.Entry) bool {
+	o := l.EnumOptions()
+	innerSize := inner.Tables.Len()
+	switch o.Shape {
+	case enum.LeftDeep:
+		if innerSize != 1 {
+			return false
+		}
+	case enum.ZigZag:
+		if innerSize != 1 && outer.Tables.Len() != 1 {
+			return false
+		}
+	}
+	if o.CompositeInnerLimit > 0 && innerSize > o.CompositeInnerLimit {
+		return false
+	}
+	return true
+}
+
+// countOnly accumulates plan counts for one join without touching the
+// shared property lists: NLJN (full order propagation) generates one plan
+// per interesting order of the outer plus the DC plan; MGJN (partial) one
+// per merge-candidate order plus its coverage list; HSJN (none) exactly
+// one — each scaled by the candidate execution partitions in parallel mode
+// (the separate-list multiplication of Section 3.4).
+func (c *counter) countOnly(outer, inner, result *memo.Entry) {
+	outerCols, innerCols := c.sc.JoinColsBetween(outer.Tables, inner.Tables)
+	candParts := c.candidateParts(outer, inner, result, outerCols, innerCols)
+	c.countWithCols(outer, inner, result, outerCols, innerCols, candParts)
+}
+
+// countWithCols is countOnly with the join columns and execution partitions
+// already computed — the shared hot path of accumulate_plans.
+func (c *counter) countWithCols(outer, inner, result *memo.Entry, outerCols, innerCols []query.ColID, candParts []props.Partition) {
+	c.joins++
+	if c.mode == CompoundLists {
+		c.countCompound(outer, result, candParts, outerCols, innerCols)
+		return
+	}
+	nParts := len(candParts)
+	// Expensive-predicate deferral adds one plan lane per expensive table
+	// in the outer (the defer-past-joins variants NLJN carries upward).
+	lanes := c.expTables.Intersect(outer.Tables).Len()
+	// Pipelineability adds one lane when the outer is composite: composite
+	// entries keep both a pipelined (NLJN-topped) and a blocking don't-care
+	// plan, while a base table's only don't-care plan is the (pipelined)
+	// scan.
+	if c.pipeFactor > 1 && outer.Tables.Len() >= 2 {
+		lanes++
+	}
+	c.counts.ByMethod[props.NLJN] += (outer.Orders.Len() + 1 + lanes) * nParts
+	if len(outerCols) > 0 {
+		c.counts.ByMethod[props.MGJN] += c.mergeOrderCount(outer, result, outerCols, innerCols) * nParts
+		c.counts.ByMethod[props.HSJN] += nParts
+	}
+}

@@ -1,0 +1,351 @@
+// Package core implements the paper's contribution: the COmpilation Time
+// Estimator (COTE). It reuses the optimizer's join enumerator while
+// bypassing plan generation, maintains interesting-property value lists in
+// the MEMO structure to count the join plans each enumerated join would
+// generate (the initialize / accumulate_plans algorithm of Table 3), and
+// converts plan counts to time through a regression-calibrated linear model
+// T = Tinst * sum(Ct * Pt). On top of the estimator it provides the paper's
+// applications and extensions: the meta-optimizer of Figure 1, the
+// join-count baseline it improves on, optimizer memory estimation, and
+// single-pass multi-level ("piggyback") estimation.
+package core
+
+import (
+	"cote/internal/bitset"
+	"cote/internal/enum"
+	"cote/internal/memo"
+	"cote/internal/plangen"
+	"cote/internal/props"
+	"cote/internal/query"
+)
+
+// ListMode selects how multiple physical property types are maintained
+// during estimation (Section 3.4 of the paper).
+type ListMode int
+
+// List modes.
+const (
+	// SeparateLists keeps one interesting-property list per property type
+	// and estimates combined plan counts by multiplication — cheaper in
+	// time and space, slightly underestimating (the paper's choice).
+	SeparateLists ListMode = iota
+	// CompoundLists keeps explicit (order, partition) vectors — the simple
+	// solution of Section 3.4, more accurate and more expensive. Provided
+	// for the ablation benchmarks.
+	CompoundLists
+)
+
+// String names the mode.
+func (m ListMode) String() string {
+	if m == CompoundLists {
+		return "compound"
+	}
+	return "separate"
+}
+
+// PlanCounts holds estimated (or actual) generated-plan counts per join
+// method.
+type PlanCounts struct {
+	ByMethod [props.NumJoinMethods]int
+}
+
+// Total returns the total plan count.
+func (p PlanCounts) Total() int {
+	t := 0
+	for _, v := range p.ByMethod {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates other into p.
+func (p *PlanCounts) Add(other PlanCounts) {
+	for m := range p.ByMethod {
+		p.ByMethod[m] += other.ByMethod[m]
+	}
+}
+
+// CountsFrom extracts actual generated-plan counts from a real
+// optimization's counters, for estimate-versus-actual comparisons.
+func CountsFrom(c plangen.Counters) PlanCounts {
+	var out PlanCounts
+	out.ByMethod = c.Generated
+	return out
+}
+
+// propVec is one compound (order, partition) property vector.
+type propVec struct {
+	o props.Order
+	p props.Partition
+}
+
+// counter is the plan-estimate mode engine for a single query block: the
+// hook implementations of the paper's Table 3.
+type counter struct {
+	blk      *query.Block
+	sc       *props.Scope
+	parallel bool
+	nodes    int
+	policy   props.GenerationPolicy
+	mode     ListMode
+	// everyJoin disables the first-join-only propagation simplification
+	// (DB2 experience item 4) for the ablation benchmark.
+	everyJoin bool
+
+	counts PlanCounts
+	// expTables is the set of tables with expensive predicates; each adds a
+	// defer-past-joins plan lane.
+	expTables bitset.Set
+	// pipeFactor is 2 when pipelineability is an interesting property
+	// (FETCH FIRST queries): the separate pipeline "list" holds one
+	// interesting value, and NLJN — the only method that propagates it —
+	// generates both a pipelined and a blocking variant per order.
+	pipeFactor int
+	// joins counts the enumerated joins this counter accumulated.
+	joins int
+	// vecs holds compound property vectors per entry (CompoundLists only).
+	vecs map[bitset.Set][]propVec
+}
+
+func newCounter(blk *query.Block, sc *props.Scope, nodes int, policy props.GenerationPolicy, mode ListMode, everyJoin bool) *counter {
+	pipe := 1
+	if sc.PipelineInteresting() {
+		pipe = 2
+	}
+	return &counter{
+		blk: blk, sc: sc,
+		parallel: nodes > 1, nodes: nodes,
+		policy: policy, mode: mode, everyJoin: everyJoin,
+		pipeFactor: pipe,
+		expTables:  sc.ExpensiveTables(),
+		vecs:       make(map[bitset.Set][]propVec),
+	}
+}
+
+func (c *counter) hooks() enum.Hooks {
+	return enum.Hooks{
+		Init: c.initialize,
+		Join: c.accumulatePlans,
+	}
+}
+
+// initialize populates the interesting-property lists of a fresh MEMO entry
+// (Table 3, initialize()). Single-table entries get their orders per the
+// generation policy — the pushed-down interesting orders under the eager
+// policy, natural index orders under the lazy one — and their physical
+// partition (partitions are generated lazily, as in DB2's parallel
+// version).
+func (c *counter) initialize(e *memo.Entry) {
+	if e.Tables.Len() != 1 {
+		return
+	}
+	t := e.Tables.Min()
+	var orders []props.Order
+	if c.policy == props.Eager {
+		orders = c.sc.EagerBaseOrders(t, e.Equiv)
+	} else {
+		for _, o := range c.sc.NaturalBaseOrders(t, e.Equiv) {
+			if c.sc.OrderUseful(o, e.Tables, e.Equiv) {
+				orders = append(orders, o)
+			}
+		}
+	}
+	for _, o := range orders {
+		e.Orders.Add(o, e.Equiv)
+	}
+	part := props.Partition{}
+	if c.parallel {
+		if p, ok := c.sc.NaturalBasePartition(t); ok {
+			part = p
+			e.Parts.Add(p, e.Equiv)
+		}
+	}
+	if c.mode == CompoundLists {
+		vs := []propVec{{props.Order{}, part}}
+		for _, o := range orders {
+			vs = append(vs, propVec{o, part})
+		}
+		c.vecs[e.Tables] = vs
+	}
+}
+
+// accumulatePlans processes one enumerated (outer, inner) join (Table 3,
+// accumulate_plans()): it propagates interesting property values from the
+// inputs to the result entry — a property propagates when at least one join
+// method can carry it, it has not retired, and it is not equivalent to a
+// value already in the list — and accumulates a separate plan count per
+// join method according to the method's propagation class.
+func (c *counter) accumulatePlans(outer, inner, result *memo.Entry) {
+	outerCols, innerCols := c.sc.JoinColsBetween(outer.Tables, inner.Tables)
+	candParts := c.candidateParts(outer, inner, result, outerCols, innerCols)
+
+	// --- property propagation (first-join-only unless ablated) ---
+	if !result.PropsPropagated || c.everyJoin {
+		result.PropsPropagated = true
+		// Orders propagate from both inputs' lists (Table 3: lists ∪ listl)
+		// — restricted to outer-enabled inputs, since orders travel on the
+		// outer of a nested-loops join (DB2 item 3) — plus the
+		// merge-candidate orders MGJN partially propagates.
+		outs, _ := plangen.MergeCandidates(outerCols, innerCols)
+		candidates := append([]props.Order(nil), outer.Orders.Orders()...)
+		if inner.OuterEligible {
+			candidates = append(candidates, inner.Orders.Orders()...)
+		}
+		candidates = append(candidates, outs...)
+		for _, o := range candidates {
+			if c.sc.OrderUseful(o, result.Tables, result.Equiv) {
+				result.Orders.Add(o, result.Equiv)
+			}
+		}
+		for _, pp := range candParts {
+			if !pp.Empty() {
+				result.Parts.Add(pp, result.Equiv)
+			}
+		}
+		if c.mode == CompoundLists {
+			c.propagateVecs(outer, result, candParts, outs)
+			if inner.OuterEligible {
+				c.propagateVecs(inner, result, candParts, outs)
+			}
+		}
+	}
+
+	// --- plan counting per method ---
+	c.countWithCols(outer, inner, result, outerCols, innerCols, candParts)
+}
+
+// mergeOrderCount returns |listp ∪ listc|: the deduplicated merge-candidate
+// orders plus the coverage list of outer orders strictly subsuming one.
+func (c *counter) mergeOrderCount(outer, result *memo.Entry, outerCols, innerCols []query.ColID) int {
+	outs, _ := plangen.MergeCandidates(outerCols, innerCols)
+	var emitted props.OrderList
+	n := 0
+	for _, o := range outs {
+		if emitted.Add(o, result.Equiv) {
+			n++
+		}
+	}
+	for _, o := range outer.Orders.Orders() {
+		covers := false
+		for _, cand := range outs {
+			if o.Len() > cand.Len() && cand.PrefixOfUnder(o, result.Equiv) {
+				covers = true
+				break
+			}
+		}
+		if covers && emitted.Add(o, result.Equiv) {
+			n++
+		}
+	}
+	return n
+}
+
+// serialParts is the single don't-care execution partition of serial mode,
+// shared to keep the per-join hot path allocation free.
+var serialParts = []props.Partition{{}}
+
+// candidateParts mirrors the real generator's execution-partition rule from
+// the interesting-partition lists: input partitions covered by the join
+// columns, or a repartition on the join columns when none qualifies (the
+// heuristic of Section 4). Serial estimation uses the single don't-care
+// partition.
+func (c *counter) candidateParts(outer, inner, result *memo.Entry, outerCols, innerCols []query.ColID) []props.Partition {
+	if !c.parallel {
+		return serialParts
+	}
+	joinCols := append(append([]query.ColID(nil), outerCols...), innerCols...)
+	var list props.PartitionList
+	for _, e := range []*memo.Entry{outer, inner} {
+		for _, p := range e.Parts.Partitions() {
+			if p.CoversJoinCols(joinCols, result.Equiv) {
+				list.Add(p, result.Equiv)
+			}
+		}
+	}
+	if list.Len() == 0 {
+		if len(outerCols) > 0 {
+			return []props.Partition{props.PartitionOn(c.nodes, outerCols...)}
+		}
+		return []props.Partition{{}}
+	}
+	return list.Partitions()
+}
+
+// propagateVecs maintains compound (order, partition) vectors: a vector
+// retires only when every component has retired (Section 3.4).
+func (c *counter) propagateVecs(outer, result *memo.Entry, candParts []props.Partition, mergeOrders []props.Order) {
+	have := c.vecs[result.Tables]
+	add := func(v propVec) {
+		for _, h := range have {
+			if h.o.EqualUnder(v.o, result.Equiv) && h.p.EqualUnder(v.p, result.Equiv) {
+				return
+			}
+		}
+		have = append(have, v)
+	}
+	for _, pp := range candParts {
+		add(propVec{props.Order{}, pp})
+		for _, v := range c.vecs[outer.Tables] {
+			if v.o.Empty() {
+				continue // the (DC, pp) vector is already present
+			}
+			oUseful := c.sc.OrderUseful(v.o, result.Tables, result.Equiv)
+			pAlive := c.parallel && !pp.Empty()
+			if !oUseful && !pAlive {
+				continue // every component retired: the vector retires
+			}
+			// Compound retirement rule: the vector survives as long as any
+			// component is alive, so a retired order rides along on an
+			// interesting partition.
+			add(propVec{v.o, pp})
+		}
+		for _, o := range mergeOrders {
+			if c.sc.OrderUseful(o, result.Tables, result.Equiv) {
+				add(propVec{o, pp})
+			}
+		}
+	}
+	c.vecs[result.Tables] = have
+}
+
+// countCompound counts plans from compound vectors, re-simulating the real
+// generator's per-partition behaviour.
+func (c *counter) countCompound(outer, result *memo.Entry, candParts []props.Partition, outerCols, innerCols []query.ColID) {
+	outerVecs := c.vecs[outer.Tables]
+	for _, pp := range candParts {
+		colocated := 0
+		var distinctOrders props.OrderList
+		for _, v := range outerVecs {
+			if c.parallel && !v.p.EqualUnder(pp, result.Equiv) {
+				if !v.o.Empty() {
+					distinctOrders.Add(v.o, result.Equiv)
+				}
+				continue
+			}
+			colocated++
+		}
+		n := colocated
+		if c.parallel && n == 0 {
+			n = 1 + distinctOrders.Len() // repartition + re-sorts
+		}
+		c.counts.ByMethod[props.NLJN] += n
+		if len(outerCols) > 0 {
+			c.counts.ByMethod[props.MGJN] += c.mergeOrderCount(outer, result, outerCols, innerCols)
+			c.counts.ByMethod[props.HSJN]++
+		}
+	}
+}
+
+// propertyBytes reports the memory footprint of the maintained property
+// lists, at the paper's ~4 bytes per property value.
+func (c *counter) propertyBytes(mem *memo.Memo) int {
+	if c.mode == CompoundLists {
+		const bytesPerVec = 8
+		n := 0
+		for _, vs := range c.vecs {
+			n += len(vs) * bytesPerVec
+		}
+		return n
+	}
+	return mem.PropertyListBytes()
+}

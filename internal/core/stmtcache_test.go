@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cote/internal/opt"
+	"cote/internal/stats"
+)
+
+func TestStatementCacheExactRepeats(t *testing.T) {
+	c := NewStatementCache()
+	blk := starBlock(t, 6, 2, 1, 0, 1)
+	if _, ok := c.Lookup(blk); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Record(blk, 123*time.Microsecond)
+	// A structurally identical query (fresh build) hits.
+	blk2 := starBlock(t, 6, 2, 1, 0, 1)
+	d, ok := c.Lookup(blk2)
+	if !ok || d != 123*time.Microsecond {
+		t.Fatalf("exact repeat missed: %v %v", d, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 || c.Len() != 1 {
+		t.Fatalf("stats = %d/%d len %d", hits, misses, c.Len())
+	}
+}
+
+func TestStatementCacheMissesAdHocVariants(t *testing.T) {
+	// The paper's point: ad-hoc variations defeat the cache while the COTE
+	// estimates them all. One extra predicate per edge, one more ORDER BY
+	// column — every variant misses.
+	c := NewStatementCache()
+	c.Record(starBlock(t, 6, 2, 1, 0, 1), time.Millisecond)
+	variants := []struct{ n, preds, ob int }{
+		{6, 3, 1}, // one more predicate per edge
+		{6, 2, 2}, // one more ORDER BY column
+		{8, 2, 1}, // two more tables
+	}
+	for _, v := range variants {
+		if _, ok := c.Lookup(starBlock(t, v.n, v.preds, v.ob, 0, 1)); ok {
+			t.Fatalf("variant %+v hit the cache", v)
+		}
+	}
+}
+
+func TestStatementCacheVsCOTEOnAdHocWorkload(t *testing.T) {
+	// Run the star batch as an "ad-hoc" stream: each query seen once. The
+	// cache can only fall back to the last-seen time (a best-effort
+	// strategy); the COTE predicts each query individually. The COTE must
+	// win by a wide margin.
+	var training []TrainingPoint
+	for preds := 1; preds <= 5; preds++ {
+		for _, n := range []int{6, 8} {
+			blk := starBlock(t, n, preds, 1, 0, 1)
+			res, err := opt.Optimize(blk, opt.Options{Level: opt.LevelHighInner2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			training = append(training, TrainingPointFrom(res.TotalCounters(), res.Elapsed))
+		}
+	}
+	model, err := Calibrate(training)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewStatementCache()
+	var last time.Duration
+	var cacheEst, coteEst, actual []float64
+	for preds := 1; preds <= 5; preds++ {
+		blk := starBlock(t, 10, preds, 1, 0, 1)
+		res, err := opt.Optimize(blk, opt.Options{Level: opt.LevelHighInner2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, ok := cache.Lookup(blk); ok {
+			last = d
+		}
+		if last > 0 {
+			cacheEst = append(cacheEst, last.Seconds())
+			actual = append(actual, res.Elapsed.Seconds())
+			est, err := EstimatePlans(blk, Options{Level: opt.LevelHighInner2, Model: model})
+			if err != nil {
+				t.Fatal(err)
+			}
+			coteEst = append(coteEst, est.PredictedTime.Seconds())
+		}
+		cache.Record(blk, res.Elapsed)
+		last = res.Elapsed
+	}
+	cacheSum, _ := stats.Summarize(cacheEst, actual)
+	coteSum, _ := stats.Summarize(coteEst, actual)
+	if coteSum.Mean >= cacheSum.Mean {
+		t.Fatalf("COTE (%.0f%%) not better than last-seen cache (%.0f%%) on ad-hoc stream",
+			coteSum.Mean*100, cacheSum.Mean*100)
+	}
+}
+
+func TestPipelinePropertyEstimation(t *testing.T) {
+	// FETCH FIRST makes pipelineability interesting; both the real plan
+	// counts and the estimate grow, and they stay within tolerance.
+	mk := func(firstN int) *TrainingPoint {
+		blk := starBlock(t, 6, 2, 0, 0, 1)
+		blk.FirstN = firstN
+		res, err := opt.Optimize(blk, opt.Options{Level: opt.LevelHigh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk2 := starBlock(t, 6, 2, 0, 0, 1)
+		blk2.FirstN = firstN
+		est, err := EstimatePlans(blk2, Options{Level: opt.LevelHigh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := TrainingPointFrom(res.TotalCounters(), res.Elapsed)
+		t.Logf("firstN=%d actual=%d est=%d", firstN, tp.Counts.Total(), est.Counts.Total())
+		if ratio := float64(est.Counts.Total()) / float64(tp.Counts.Total()); ratio < 0.5 || ratio > 2 {
+			t.Fatalf("firstN=%d: estimate %d vs actual %d", firstN, est.Counts.Total(), tp.Counts.Total())
+		}
+		return &tp
+	}
+	plain := mk(0)
+	firstN := mk(10)
+	if firstN.Counts.Total() <= plain.Counts.Total() {
+		t.Fatalf("FETCH FIRST did not grow actual plan counts: %d vs %d",
+			firstN.Counts.Total(), plain.Counts.Total())
+	}
+}

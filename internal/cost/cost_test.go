@@ -1,0 +1,311 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cote/internal/bitset"
+	"cote/internal/catalog"
+	"cote/internal/query"
+)
+
+func TestSynthesizeHistogramDeterministic(t *testing.T) {
+	a := SynthesizeHistogram(10_000, 100, "t.a")
+	b := SynthesizeHistogram(10_000, 100, "t.a")
+	if *a != *b {
+		t.Fatal("same seed produced different histograms")
+	}
+	c := SynthesizeHistogram(10_000, 100, "t.b")
+	if *a == *c {
+		t.Fatal("different seeds produced identical histograms")
+	}
+	if a.NDV() != 100 || a.Rows() != 10_000 {
+		t.Fatal("histogram metadata wrong")
+	}
+}
+
+func TestHistogramSelEqNearUniform(t *testing.T) {
+	h := SynthesizeHistogram(1_000_000, 1000, "col")
+	sel := h.SelEq()
+	// Mildly skewed around 1/NDV: within a factor of 3.
+	if sel < 1.0/3000 || sel > 3.0/1000 {
+		t.Fatalf("SelEq = %v, want near 1/1000", sel)
+	}
+}
+
+func TestHistogramSelRange(t *testing.T) {
+	h := SynthesizeHistogram(100_000, 500, "col")
+	if got := h.SelRange(0); got != 0 {
+		t.Fatalf("SelRange(0) = %v", got)
+	}
+	if got := h.SelRange(1); got != 1 {
+		t.Fatalf("SelRange(1) = %v", got)
+	}
+	mid := h.SelRange(0.5)
+	if mid <= 0.2 || mid >= 0.8 {
+		t.Fatalf("SelRange(0.5) = %v, want mid-range", mid)
+	}
+	if h.SelRange(0.3) > h.SelRange(0.6) {
+		t.Fatal("SelRange not monotone")
+	}
+}
+
+// Property: SelRange is monotone nondecreasing and bounded in [0, 1].
+func TestQuickSelRangeMonotone(t *testing.T) {
+	h := SynthesizeHistogram(50_000, 700, "q")
+	f := func(a, b float64) bool {
+		fa, fb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		sa, sb := h.SelRange(fa), h.SelRange(fb)
+		return sa >= 0 && sb <= 1 && sa <= sb+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYao(t *testing.T) {
+	// Fetching all rows touches all pages.
+	if got := yao(1000, 25, 1000); got != 25 {
+		t.Fatalf("yao all rows = %v", got)
+	}
+	// Fetching nothing touches nothing.
+	if got := yao(1000, 25, 0); got != 0 {
+		t.Fatalf("yao zero rows = %v", got)
+	}
+	// Fetching a few random rows touches roughly that many pages.
+	got := yao(100_000, 2500, 10)
+	if got < 8 || got > 10 {
+		t.Fatalf("yao(10 of 100k) = %v, want ~10", got)
+	}
+	// Monotone in k.
+	if yao(1000, 25, 100) > yao(1000, 25, 500) {
+		t.Fatal("yao not monotone in k")
+	}
+}
+
+// estimators builds full- and simple-mode estimators over a PK-FK pair.
+func estimators(t *testing.T) (*query.Block, *Estimator, *Estimator) {
+	t.Helper()
+	cb := catalog.NewBuilder("c")
+	// PK table with understated NDV stats: full mode knows the unique index
+	// makes pk.id effectively row-count distinct; simple mode trusts the
+	// stale NDV.
+	cb.Table("pk", 10_000).Column("id", 8_000).Column("v", 100).Index("pk_pk", true, "id")
+	cb.Table("fk", 100_000).Column("ref", 8_000).Column("w", 50)
+	cat := cb.Build()
+
+	qb := query.NewBuilder("q", cat)
+	qb.AddTable("fk", "")
+	qb.AddTable("pk", "")
+	qb.JoinEq("fk", "ref", "pk", "id")
+	blk := qb.MustBuild()
+	return blk, NewEstimator(blk, Full), NewEstimator(blk, Simple)
+}
+
+func TestCardModesDiverge(t *testing.T) {
+	blk, full, simple := estimators(t)
+	s := blk.AllTables()
+	cf, cs := full.Card(s), simple.Card(s)
+	// Full mode: FK-PK join, output = |fk| = 100k (unique index upgrades
+	// NDV to 10k and the key cap bounds by the FK side).
+	if cf > 100_000*1.01 || cf < 100_000*0.9 {
+		t.Fatalf("full card = %v, want ~100000", cf)
+	}
+	// Simple mode: 100k * 10k / 8k = 125k — the overestimate the paper
+	// attributes to ignoring keys.
+	if cs <= cf {
+		t.Fatalf("simple card %v not above full card %v", cs, cf)
+	}
+	if math.Abs(cs-125_000) > 1 {
+		t.Fatalf("simple card = %v, want 125000", cs)
+	}
+}
+
+func TestCardMemoized(t *testing.T) {
+	blk, full, _ := estimators(t)
+	s := blk.AllTables()
+	a := full.Card(s)
+	if b := full.Card(s); a != b {
+		t.Fatal("memoized Card returned different values")
+	}
+	if full.Mode() != Full || Full.String() != "full" || Simple.String() != "simple" {
+		t.Fatal("mode accessors wrong")
+	}
+}
+
+func TestFilteredCardRespectsLocalPreds(t *testing.T) {
+	cb := catalog.NewBuilder("c")
+	cb.Table("t", 10_000).Column("a", 100).Column("b", 10)
+	cat := cb.Build()
+	qb := query.NewBuilder("q", cat)
+	qb.AddTable("t", "")
+	qb.Filter(qb.Col("t", "a"), query.Eq, 0) // 1/100
+	qb.Filter(qb.Col("t", "b"), query.Lt, 0) // 1/3
+	blk := qb.MustBuild()
+
+	simple := NewEstimator(blk, Simple)
+	want := 10_000.0 / 100 / 3
+	if got := simple.FilteredCard(0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("simple filtered card = %v, want %v", got, want)
+	}
+	full := NewEstimator(blk, Full)
+	got := full.FilteredCard(0)
+	// Histogram-based: near but typically not equal — the paper's
+	// "inconsistent cardinality estimation" gap.
+	if got <= 0 || got > 10_000 {
+		t.Fatalf("full filtered card = %v out of range", got)
+	}
+	if ratio := got / want; ratio < 0.2 || ratio > 5 {
+		t.Fatalf("full/simple filtered card ratio = %v, want same ballpark", ratio)
+	}
+}
+
+func TestCardFloor(t *testing.T) {
+	cb := catalog.NewBuilder("c")
+	cb.Table("t", 10).Column("a", 10)
+	cat := cb.Build()
+	qb := query.NewBuilder("q", cat)
+	qb.AddTable("t", "")
+	qb.Filter(qb.Col("t", "a"), query.Eq, 0.0001)
+	blk := qb.MustBuild()
+	e := NewEstimator(blk, Simple)
+	if got := e.Card(bitset.Of(0)); got < 0.01 {
+		t.Fatalf("card %v under floor", got)
+	}
+}
+
+func TestJoinSelNonEquality(t *testing.T) {
+	cb := catalog.NewBuilder("c")
+	cb.Table("r", 100).Column("a", 10)
+	cb.Table("s", 100).Column("a", 10)
+	cat := cb.Build()
+	qb := query.NewBuilder("q", cat)
+	qb.AddTable("r", "")
+	qb.AddTable("s", "")
+	qb.Join(qb.Col("r", "a"), qb.Col("s", "a"), query.Lt)
+	blk := qb.MustBuild()
+	e := NewEstimator(blk, Simple)
+	if got := e.JoinSel(0); got != 1.0/3 {
+		t.Fatalf("non-eq join sel = %v, want 1/3", got)
+	}
+}
+
+func TestScanCostScalesWithRows(t *testing.T) {
+	small := Serial.ScanCost(1_000, 1_000)
+	big := Serial.ScanCost(1_000_000, 1_000_000)
+	if small >= big {
+		t.Fatal("scan cost not increasing with rows")
+	}
+	// Parallel divides the work.
+	par := Parallel4.ScanCost(1_000_000, 1_000_000)
+	if par >= big {
+		t.Fatal("parallel scan not cheaper than serial")
+	}
+}
+
+func TestIndexVsScanCrossover(t *testing.T) {
+	rows := 1_000_000.0
+	// Very selective: index wins.
+	if ix, sc := Serial.IndexScanCost(rows, 10), Serial.ScanCost(rows, 10); ix >= sc {
+		t.Fatalf("selective index scan %v not under table scan %v", ix, sc)
+	}
+	// Fetch everything: scan wins.
+	if ix, sc := Serial.IndexScanCost(rows, rows), Serial.ScanCost(rows, rows); ix <= sc {
+		t.Fatalf("full-fetch index scan %v not above table scan %v", ix, sc)
+	}
+}
+
+func TestSortCostSuperlinear(t *testing.T) {
+	a := Serial.SortCost(10_000)
+	b := Serial.SortCost(20_000)
+	if b <= 2*a*0.9 {
+		t.Fatalf("sort cost not superlinear: %v vs %v", a, b)
+	}
+}
+
+func TestJoinCostSanity(t *testing.T) {
+	// Hash join should beat nested loops on large unordered inputs.
+	oc, or := Serial.ScanCost(1_000_000, 1_000_000), 1_000_000.0
+	ic, ir := Serial.ScanCost(500_000, 500_000), 500_000.0
+	nl := Serial.NLJNCost(oc, or, ic, ir, 1_000_000)
+	hs := Serial.HSJNCost(oc, or, ic, ir, 1_000_000)
+	if hs >= nl {
+		t.Fatalf("hash join %v not under nested loops %v on big inputs", hs, nl)
+	}
+	// Merge join (inputs pre-sorted) beats hash join.
+	mg := Serial.MGJNCost(oc, or, ic, ir, 1_000_000)
+	if mg >= hs {
+		t.Fatalf("merge join %v not under hash join %v on sorted inputs", mg, hs)
+	}
+	// Tiny inner: nested loops becomes competitive with hash join.
+	nlTiny := Serial.NLJNCost(oc, or, Serial.ScanCost(10, 10), 10, 1_000_000)
+	hsTiny := Serial.HSJNCost(oc, or, Serial.ScanCost(10, 10), 10, 1_000_000)
+	if nlTiny > hsTiny*3 {
+		t.Fatalf("NLJN with tiny inner (%v) should be near HSJN (%v)", nlTiny, hsTiny)
+	}
+}
+
+func TestRepartitionCost(t *testing.T) {
+	if got := Serial.RepartitionCost(1_000_000); got != 0 {
+		t.Fatalf("serial repartition cost = %v, want 0", got)
+	}
+	if got := Parallel4.RepartitionCost(1_000_000); got <= 0 {
+		t.Fatal("parallel repartition free")
+	}
+	if Parallel4.RepartitionCost(1_000) >= Parallel4.RepartitionCost(1_000_000) {
+		t.Fatal("repartition cost not increasing")
+	}
+}
+
+func TestGroupByCost(t *testing.T) {
+	ordered := Serial.GroupByCost(1_000_000, 100, true)
+	hashed := Serial.GroupByCost(1_000_000, 100, false)
+	if ordered >= hashed {
+		t.Fatalf("streaming group-by %v not under hash group-by %v", ordered, hashed)
+	}
+}
+
+func TestBufferHitRatioBounds(t *testing.T) {
+	for _, pages := range []float64{0, 1, 100, 1e6, 1e9} {
+		r := bufferHitRatio(pages)
+		if r < 0 || r > 1 {
+			t.Fatalf("hit ratio %v for %v pages out of [0,1]", r, pages)
+		}
+	}
+	if bufferHitRatio(10) <= bufferHitRatio(1e8) {
+		t.Fatal("hit ratio should fall as footprint grows")
+	}
+}
+
+// Property: all operator costs are nonnegative and finite for sane inputs.
+func TestQuickCostsFinite(t *testing.T) {
+	f := func(a, b uint32) bool {
+		or := float64(a%10_000_000) + 1
+		ir := float64(b%10_000_000) + 1
+		for _, cfg := range []*Config{Serial, Parallel4} {
+			costs := []float64{
+				cfg.ScanCost(or, ir),
+				cfg.IndexScanCost(or, math.Min(or, ir)),
+				cfg.SortCost(or),
+				cfg.NLJNCost(1, or, 1, ir, or),
+				cfg.MGJNCost(1, or, 1, ir, or),
+				cfg.HSJNCost(1, or, 1, ir, or),
+				cfg.RepartitionCost(or),
+				cfg.GroupByCost(or, ir, a%2 == 0),
+			}
+			for _, c := range costs {
+				if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

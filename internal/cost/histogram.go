@@ -1,0 +1,157 @@
+// Package cost implements the cost model of the reproduced optimizer:
+// histogram-based selectivity estimation, cardinality estimation in two
+// modes (the full model used during real plan generation and the simple
+// model used in the estimator's plan-estimate mode), and per-operator cost
+// formulas with page-access (Yao) and buffer-pool modeling.
+//
+// The paper's central overhead claim — that compilation time estimation
+// costs under 3% of real optimization — rests on plan generation being
+// expensive because "commercial systems build sophisticated execution cost
+// models". This package therefore models costs with deliberate fidelity
+// (histograms, Yao's formula, an iterative buffer-hit fixed point) on the
+// full path, while the simple path used by the estimator is plain
+// arithmetic over base statistics.
+package cost
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// histBuckets is the number of equi-depth buckets per synthesized histogram,
+// matching the double-digit bucket counts of commercial systems.
+const histBuckets = 20
+
+// Histogram is an equi-depth histogram over a synthetic integer domain
+// [1, NDV]. Real deployments build histograms from data; this repository has
+// no data, so histograms are synthesized deterministically from the column's
+// statistics with mild skew, which keeps full-mode selectivities slightly
+// different from the simple 1/NDV model — reproducing the paper's
+// "inconsistent cardinality estimation" error source.
+type Histogram struct {
+	// bounds[i] is the upper bound of bucket i; bounds[histBuckets-1] = NDV.
+	bounds [histBuckets]float64
+	// rows[i] is the number of rows in bucket i.
+	rows [histBuckets]float64
+	ndv  float64
+	tot  float64
+}
+
+// SynthesizeHistogram builds the histogram for a column with the given row
+// count and NDV. The skew is derived from a hash of the seed (the column's
+// qualified name) so the same schema always produces the same histogram.
+func SynthesizeHistogram(rowCount, ndv float64, seed string) *Histogram {
+	if ndv < 1 {
+		ndv = 1
+	}
+	if rowCount < ndv {
+		rowCount = ndv
+	}
+	h := &Histogram{ndv: ndv, tot: rowCount}
+
+	hash := fnv.New64a()
+	hash.Write([]byte(seed))
+	state := hash.Sum64() | 1
+
+	// Mildly skewed bucket widths: each bucket covers a share of the domain
+	// drawn from [0.5, 1.5] of the uniform share, then normalized; bucket
+	// row counts follow a Zipf-ish tilt seeded the same way.
+	var widths, weights [histBuckets]float64
+	var wsum, rsum float64
+	for i := 0; i < histBuckets; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		u := float64(state>>11) / (1 << 53) // [0,1)
+		widths[i] = 0.5 + u
+		wsum += widths[i]
+		state = state*6364136223846793005 + 1442695040888963407
+		v := float64(state>>11) / (1 << 53)
+		weights[i] = 0.7 + 0.6*v
+		rsum += weights[i]
+	}
+	acc := 0.0
+	for i := 0; i < histBuckets; i++ {
+		acc += widths[i] / wsum * ndv
+		h.bounds[i] = acc
+		h.rows[i] = weights[i] / rsum * rowCount
+	}
+	h.bounds[histBuckets-1] = ndv
+	return h
+}
+
+// SelEq estimates the selectivity of an equality predicate against the
+// histogram: the average rows-per-value of the bucket holding a typical
+// value, normalized by the total row count.
+func (h *Histogram) SelEq() float64 {
+	// Average over all buckets of rows/values — a frequency-weighted
+	// uniform-within-bucket estimate.
+	var sel float64
+	lo := 0.0
+	for i := 0; i < histBuckets; i++ {
+		vals := h.bounds[i] - lo
+		lo = h.bounds[i]
+		if vals <= 0 {
+			continue
+		}
+		perValue := h.rows[i] / vals
+		sel += (vals / h.ndv) * (perValue / h.tot)
+	}
+	if sel <= 0 {
+		sel = 1 / h.ndv
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// SelRange estimates the selectivity of a range predicate covering the given
+// fraction of the domain, interpolating across buckets.
+func (h *Histogram) SelRange(frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return 1
+	}
+	cut := frac * h.ndv
+	var got float64
+	lo := 0.0
+	for i := 0; i < histBuckets; i++ {
+		hi := h.bounds[i]
+		switch {
+		case hi <= cut:
+			got += h.rows[i]
+		case lo < cut:
+			width := hi - lo
+			if width > 0 {
+				got += h.rows[i] * (cut - lo) / width
+			}
+		}
+		lo = hi
+	}
+	sel := got / h.tot
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// NDV returns the number of distinct values the histogram was built for.
+func (h *Histogram) NDV() float64 { return h.ndv }
+
+// Rows returns the total row count the histogram was built for.
+func (h *Histogram) Rows() float64 { return h.tot }
+
+// yao estimates the number of pages touched when fetching k random rows from
+// a table of n rows spread over m pages (Yao's formula, the standard
+// page-access model of System R descendants).
+func yao(n, m, k float64) float64 {
+	if m <= 1 || k <= 0 || n <= 0 {
+		return math.Min(math.Max(k, 0), math.Max(m, 1))
+	}
+	if k >= n {
+		return m
+	}
+	// m * (1 - (1 - 1/m)^k)
+	return m * (1 - math.Pow(1-1/m, k))
+}

@@ -1,0 +1,319 @@
+// Package enum implements the bottom-up dynamic-programming join enumerator
+// of the reproduced optimizer, in the System R tradition the paper assumes.
+//
+// The enumerator is deliberately decoupled from plan generation through a
+// thin callback interface (Hooks), exactly the extensible-optimizer split
+// the paper leans on: real optimization installs plan-generating hooks,
+// while the compilation-time estimator installs the cheap initialize /
+// accumulate_plans hooks of Table 3 and bypasses plan generation entirely.
+// Both modes therefore enumerate the same joins — up to the
+// cardinality-sensitive Cartesian-product heuristic, whose dependence on the
+// cardinality model is a documented error source of the paper.
+//
+// Enumeration is performed on a logical basis: two non-overlapping table
+// sets join when at least one predicate links them (or a Cartesian product
+// is permitted). Each eligible (outer, inner) orientation is emitted as one
+// enumerated join, so a fully reorderable pair yields two joins — which is
+// why the paper observes hash-join plans to be exactly twice the number of
+// (unordered) joins.
+package enum
+
+import (
+	"fmt"
+
+	"cote/internal/bitset"
+	"cote/internal/cost"
+	"cote/internal/memo"
+	"cote/internal/query"
+)
+
+// Shape restricts the join-tree shapes the enumerator explores — one of the
+// "knobs" that create intermediate optimization levels.
+type Shape int
+
+// Join-tree shapes.
+const (
+	// Bushy explores all shapes (the paper's "high" level).
+	Bushy Shape = iota
+	// ZigZag requires one input of every join to be a single table, in
+	// either role.
+	ZigZag
+	// LeftDeep requires the inner of every join to be a single table.
+	LeftDeep
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case Bushy:
+		return "bushy"
+	case ZigZag:
+		return "zigzag"
+	case LeftDeep:
+		return "leftdeep"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// CartesianPolicy governs Cartesian products.
+type CartesianPolicy int
+
+// Cartesian-product policies.
+const (
+	// CartesianCardOne allows a product when one input's estimated
+	// cardinality is (near) one — DB2's heuristic, reproduced including its
+	// sensitivity to the cardinality model.
+	CartesianCardOne CartesianPolicy = iota
+	// CartesianNever forbids products entirely.
+	CartesianNever
+	// CartesianAlways permits any product (the full search space).
+	CartesianAlways
+)
+
+// cartesianCardThreshold is the "cardinality of one" cutoff; estimates are
+// floats so exact equality would be meaningless.
+const cartesianCardThreshold = 1.5
+
+// Options are the enumerator knobs. The zero value is the full bushy search
+// with DB2's Cartesian heuristic and no composite-inner limit.
+type Options struct {
+	Shape Shape
+	// CompositeInnerLimit caps the table count of a composite inner
+	// (0 = unlimited): the paper's experiments run DB2 "with certain limits
+	// on the composite inner size of a join".
+	CompositeInnerLimit int
+	Cartesian           CartesianPolicy
+}
+
+// Hooks are the callbacks the enumerator drives. Init is invoked once per
+// MEMO entry right after its logical properties are cached; Join is invoked
+// once per enumerated (outer, inner) join, after the result entry exists;
+// Complete is invoked once per entry when no further joins will produce
+// plans for it (all base entries first, then each size class as its
+// dynamic-programming round finishes) — the point where the parallel
+// optimizer places its eager enforcers.
+type Hooks struct {
+	Init     func(e *memo.Entry)
+	Join     func(outer, inner, result *memo.Entry)
+	Complete func(e *memo.Entry)
+}
+
+// Stats reports what one enumeration did.
+type Stats struct {
+	// Joins is the number of enumerated (ordered) joins — Join callbacks.
+	Joins int
+	// Pairs is the number of distinct unordered table-set pairs joined —
+	// the join count in the sense of Ono & Lohman.
+	Pairs int
+	// Entries is the number of MEMO entries created.
+	Entries int
+}
+
+// Enumerator runs the DP join enumeration for one query block.
+type Enumerator struct {
+	blk  *query.Block
+	mem  *memo.Memo
+	card *cost.Estimator
+	opts Options
+}
+
+// New builds an enumerator writing into mem and using card for the logical
+// cardinality of each entry (the estimator mode chosen by the caller is
+// what differentiates real compilation from plan-estimate mode).
+func New(blk *query.Block, mem *memo.Memo, card *cost.Estimator, opts Options) *Enumerator {
+	return &Enumerator{blk: blk, mem: mem, card: card, opts: opts}
+}
+
+// Run enumerates all joins bottom-up, invoking the hooks, and returns the
+// enumeration statistics. An error is returned when the query cannot be
+// fully joined under the current knobs (e.g. a disconnected join graph with
+// Cartesian products disabled).
+func (en *Enumerator) Run(hooks Hooks) (Stats, error) {
+	var st Stats
+	n := en.blk.NumTables()
+
+	for t := 0; t < n; t++ {
+		e := en.createEntry(bitset.Single(t), hooks)
+		st.Entries++
+		e.OuterEligible = en.singleOuterEligible(t)
+	}
+	if hooks.Complete != nil {
+		for _, e := range en.mem.OfSize(1) {
+			hooks.Complete(e)
+		}
+	}
+
+	for k := 2; k <= n; k++ {
+		for i := 1; i <= k/2; i++ {
+			j := k - i
+			smaller := en.mem.OfSize(i)
+			larger := en.mem.OfSize(j)
+			for si, S := range smaller {
+				for li, L := range larger {
+					if i == j && li <= si {
+						continue // unordered pairs once
+					}
+					if S.Tables.Overlaps(L.Tables) {
+						continue
+					}
+					if !en.joinable(S, L) {
+						continue
+					}
+					union := S.Tables.Union(L.Tables)
+					if !en.validSet(union) {
+						continue
+					}
+					emitSL := en.orientationAllowed(S, L)
+					emitLS := en.orientationAllowed(L, S)
+					if !emitSL && !emitLS {
+						continue
+					}
+					result := en.mem.Entry(union)
+					if result == nil {
+						result = en.createJoinEntry(union, S, L, hooks)
+						st.Entries++
+					}
+					st.Pairs++
+					if emitSL {
+						st.Joins++
+						if hooks.Join != nil {
+							hooks.Join(S, L, result)
+						}
+					}
+					if emitLS {
+						st.Joins++
+						if hooks.Join != nil {
+							hooks.Join(L, S, result)
+						}
+					}
+				}
+			}
+		}
+		if hooks.Complete != nil {
+			for _, e := range en.mem.OfSize(k) {
+				hooks.Complete(e)
+			}
+		}
+	}
+
+	if en.mem.Entry(en.blk.AllTables()) == nil {
+		return st, fmt.Errorf("enum: query %q not fully joinable under %v/%v (disconnected graph?)",
+			en.blk.Name, en.opts.Shape, en.opts.Cartesian)
+	}
+	return st, nil
+}
+
+// createEntry materializes the MEMO entry for s with its logical properties
+// cached, then runs the Init hook.
+func (en *Enumerator) createEntry(s bitset.Set, hooks Hooks) *memo.Entry {
+	e, created := en.mem.GetOrCreate(s)
+	if !created {
+		return e
+	}
+	e.Card = en.card.Card(s)
+	en.finishEntry(e, s, hooks)
+	return e
+}
+
+// createJoinEntry materializes the entry for the union of two existing
+// entries, letting the cardinality estimator compose the union's
+// cardinality from the parts when its mode supports it.
+func (en *Enumerator) createJoinEntry(union bitset.Set, S, L *memo.Entry, hooks Hooks) *memo.Entry {
+	e, created := en.mem.GetOrCreate(union)
+	if !created {
+		return e
+	}
+	e.Card = en.card.JoinCard(S.Tables, L.Tables)
+	en.finishEntry(e, union, hooks)
+	return e
+}
+
+func (en *Enumerator) finishEntry(e *memo.Entry, s bitset.Set, hooks Hooks) {
+	e.Equiv = en.blk.EquivWithin(s)
+	e.OuterEligible = en.compositeOuterEligible(s)
+	if hooks.Init != nil {
+		hooks.Init(e)
+	}
+}
+
+// singleOuterEligible applies the outer-eligibility rules to a single
+// table: the null-producing side of a pending outer join and correlated
+// derived tables must be the inner (paper Section 4, experience item 3).
+func (en *Enumerator) singleOuterEligible(t int) bool {
+	for _, oj := range en.blk.OuterJoins {
+		if oj.NullProducing == t {
+			return false
+		}
+	}
+	if ref := en.blk.Tables[t]; ref.Correlated {
+		return false
+	}
+	return true
+}
+
+// compositeOuterEligible marks composite sets. Valid sets have all their
+// outer joins applied, so only correlation matters: a set whose only table
+// is a correlated subquery stays inner; once joined with binding tables it
+// becomes eligible.
+func (en *Enumerator) compositeOuterEligible(s bitset.Set) bool {
+	if s.Len() == 1 {
+		return en.singleOuterEligible(s.Min())
+	}
+	return true
+}
+
+// validSet enforces the outer-join reordering restriction: a set containing
+// a null-producing table must either be exactly that single table or
+// already include every preserving table its ON predicate references (free
+// reordering without compensation, the DB2 variant the paper describes).
+func (en *Enumerator) validSet(s bitset.Set) bool {
+	for _, oj := range en.blk.OuterJoins {
+		if s.Contains(oj.NullProducing) && s != bitset.Single(oj.NullProducing) && !oj.PredReq.SubsetOf(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// joinable reports whether S and L may be joined: linked by a predicate, or
+// permitted as a Cartesian product by the active policy. The cardinality
+// dependence of CartesianCardOne is the hook through which the simple
+// cardinality model of plan-estimate mode can change the set of joins
+// enumerated — the HSJN estimation error analyzed in Section 5.2.
+func (en *Enumerator) joinable(S, L *memo.Entry) bool {
+	if en.blk.Connects(S.Tables, L.Tables) {
+		return true
+	}
+	switch en.opts.Cartesian {
+	case CartesianAlways:
+		return true
+	case CartesianCardOne:
+		return S.Card <= cartesianCardThreshold || L.Card <= cartesianCardThreshold
+	default:
+		return false
+	}
+}
+
+// orientationAllowed reports whether (outer, inner) may be emitted: the
+// outer must be outer-eligible and the shape and composite-inner knobs must
+// admit the inner.
+func (en *Enumerator) orientationAllowed(outer, inner *memo.Entry) bool {
+	if !outer.OuterEligible {
+		return false
+	}
+	innerSize := inner.Tables.Len()
+	switch en.opts.Shape {
+	case LeftDeep:
+		if innerSize != 1 {
+			return false
+		}
+	case ZigZag:
+		if innerSize != 1 && outer.Tables.Len() != 1 {
+			return false
+		}
+	}
+	if en.opts.CompositeInnerLimit > 0 && innerSize > en.opts.CompositeInnerLimit {
+		return false
+	}
+	return true
+}

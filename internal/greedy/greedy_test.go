@@ -1,0 +1,142 @@
+package greedy
+
+import (
+	"testing"
+
+	"cote/internal/catalog"
+	"cote/internal/cost"
+	"cote/internal/memo"
+	"cote/internal/query"
+)
+
+func chainBlock(t *testing.T, n int) *query.Block {
+	t.Helper()
+	cb := catalog.NewBuilder("g")
+	for i := 0; i < n; i++ {
+		cb.Table(name(i), float64(1000*(i+1))).Column("a", 100).Column("b", 100)
+	}
+	cat := cb.Build()
+	qb := query.NewBuilder("g", cat)
+	for i := 0; i < n; i++ {
+		qb.AddTable(name(i), "")
+	}
+	for i := 0; i+1 < n; i++ {
+		qb.JoinEq(name(i), "b", name(i+1), "a")
+	}
+	return qb.MustBuild()
+}
+
+func name(i int) string { return "t" + string(rune('a'+i)) }
+
+func TestGreedyProducesCompletePlan(t *testing.T) {
+	blk := chainBlock(t, 6)
+	card := cost.NewEstimator(blk, cost.Full)
+	res, err := Optimize(blk, card, cost.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Tables != blk.AllTables() {
+		t.Fatalf("plan covers %v, want all tables", res.Plan.Tables)
+	}
+	if res.Cost <= 0 || res.Plan.Cost != res.Cost {
+		t.Fatalf("cost = %v", res.Cost)
+	}
+	// Left-deep: right child of every join is a single table.
+	for p := res.Plan; p.Right != nil; p = p.Left {
+		if p.Right.Tables.Len() != 1 {
+			t.Fatalf("not left-deep: inner %v", p.Right.Tables)
+		}
+	}
+}
+
+func TestGreedyPolynomialJoins(t *testing.T) {
+	// Greedy considers O(n^2) candidate joins, not the DP's exponential
+	// count: for a chain it costs at most 3 methods x n candidates per step.
+	blk := chainBlock(t, 10)
+	card := cost.NewEstimator(blk, cost.Full)
+	res, err := Optimize(blk, card, cost.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JoinsConsidered > 3*10*10 {
+		t.Fatalf("greedy considered %d joins — superquadratic?", res.JoinsConsidered)
+	}
+}
+
+func TestGreedyHandlesCartesianRemainder(t *testing.T) {
+	cb := catalog.NewBuilder("x")
+	cb.Table("r", 100).Column("a", 10)
+	cb.Table("s", 100).Column("a", 10)
+	cat := cb.Build()
+	qb := query.NewBuilder("x", cat)
+	qb.AddTable("r", "")
+	qb.AddTable("s", "")
+	blk := qb.MustBuild()
+	card := cost.NewEstimator(blk, cost.Full)
+	res, err := Optimize(blk, card, cost.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Tables != blk.AllTables() {
+		t.Fatal("disconnected query not completed via product")
+	}
+}
+
+func TestGreedyRespectsOuterJoin(t *testing.T) {
+	cb := catalog.NewBuilder("oj")
+	cb.Table("a", 10).Column("x", 10) // smallest: tempting seed
+	cb.Table("b", 10_000).Column("x", 10).Column("y", 10)
+	cb.Table("c", 5).Column("y", 10)
+	cat := cb.Build()
+	qb := query.NewBuilder("oj", cat)
+	qb.AddTable("a", "")
+	qb.AddTable("b", "")
+	qb.AddTable("c", "")
+	qb.JoinEq("a", "x", "b", "x")
+	qb.JoinEq("b", "y", "c", "y")
+	qb.LeftOuter(2, 1) // c null-producing, needs b first
+	blk := qb.MustBuild()
+	card := cost.NewEstimator(blk, cost.Full)
+	res, err := Optimize(blk, card, cost.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c (the smallest table) must not be the seed nor joined before b: walk
+	// the left spine and record the order tables appear.
+	var order []int
+	var walk func(p *memo.Plan)
+	walk = func(p *memo.Plan) {
+		if p == nil {
+			return
+		}
+		walk(p.Left)
+		if p.Right != nil {
+			order = append(order, p.Right.Tables.Min())
+		} else if p.Left == nil {
+			order = append([]int{p.Tables.Min()}, order...)
+		}
+	}
+	walk(res.Plan)
+	posB, posC := -1, -1
+	for i, t2 := range order {
+		switch t2 {
+		case 1:
+			posB = i
+		case 2:
+			posC = i
+		}
+	}
+	if posC >= 0 && posB >= 0 && posC < posB {
+		t.Fatalf("null-producing table joined before its preserving side: %v", order)
+	}
+	if order[0] == 2 {
+		t.Fatal("null-producing table used as seed")
+	}
+}
+
+func TestGreedyEmptyBlock(t *testing.T) {
+	blk := &query.Block{Name: "empty"}
+	if _, err := Optimize(blk, nil, cost.Serial); err == nil {
+		t.Fatal("empty block accepted")
+	}
+}

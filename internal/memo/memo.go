@@ -1,0 +1,320 @@
+// Package memo implements the MEMO structure of the dynamic-programming
+// optimizer (the terminology follows Volcano, as the paper does): one entry
+// per enumerated table set, holding the non-pruned plans for the real
+// optimization path and the interesting-property value lists for the
+// estimator's plan-estimate mode.
+//
+// Logical properties — cardinality, the column equivalence classes induced
+// by applied predicates, outer-eligibility — are cached per entry and
+// computed once, which is both how DB2 behaves and what the paper's
+// implementation experience (item 5) requires so that the join enumerator
+// makes the same decisions in both modes.
+package memo
+
+import (
+	"fmt"
+	"sort"
+
+	"cote/internal/bitset"
+	"cote/internal/props"
+	"cote/internal/query"
+)
+
+// Operator identifies the physical operator at the root of a plan.
+type Operator int
+
+// Physical operators of the reproduced executor.
+const (
+	OpTableScan Operator = iota
+	OpIndexScan
+	OpSort
+	OpRepartition
+	OpNLJN
+	OpMGJN
+	OpHSJN
+	OpGroupBy
+)
+
+// String names the operator.
+func (o Operator) String() string {
+	switch o {
+	case OpTableScan:
+		return "TBSCAN"
+	case OpIndexScan:
+		return "IXSCAN"
+	case OpSort:
+		return "SORT"
+	case OpRepartition:
+		return "REPART"
+	case OpNLJN:
+		return "NLJN"
+	case OpMGJN:
+		return "MGJN"
+	case OpHSJN:
+		return "HSJN"
+	case OpGroupBy:
+		return "GRPBY"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// JoinMethod maps a join operator to its props method, or -1 for non-joins.
+func (o Operator) JoinMethod() props.JoinMethod {
+	switch o {
+	case OpNLJN:
+		return props.NLJN
+	case OpMGJN:
+		return props.MGJN
+	case OpHSJN:
+		return props.HSJN
+	}
+	return props.JoinMethod(-1)
+}
+
+// Plan is one physical plan alternative. Plans form trees; the MEMO only
+// retains the non-pruned roots per entry, and children are plans of smaller
+// entries (or enforcers over them).
+type Plan struct {
+	Op          Operator
+	Left, Right *Plan
+	Tables      bitset.Set
+	// Order and Part are the physical properties the plan delivers. Empty
+	// values are the don't-care property.
+	Order props.Order
+	Part  props.Partition
+	Cost  float64
+	Card  float64
+	// OrderKnownRetired marks a plan whose order has retired but which the
+	// (parallel) optimizer conservatively kept because its partition is
+	// still interesting — the compound-property behaviour that makes the
+	// paper's separate-list estimate a slight underestimate.
+	OrderKnownRetired bool
+	// Pipelined marks a plan that can deliver its first rows without full
+	// materialization (no SORT below, no hash-join build on the path of the
+	// first row). It participates in pruning only when the MEMO's
+	// PipelineMatters flag is set (FETCH FIRST queries).
+	Pipelined bool
+	// DeferredExp is the set of tables whose expensive predicates this plan
+	// has deferred past its joins (Table 1 of the paper: "any subset of the
+	// expensive predicates" is interesting; this optimizer defers per table,
+	// all or nothing). Deferred predicates are applied by the finishing
+	// step. Plans with different deferral sets are incomparable.
+	DeferredExp bitset.Set
+}
+
+// String renders the plan tree on one line for diagnostics.
+func (p *Plan) String() string {
+	if p == nil {
+		return "<nil>"
+	}
+	switch {
+	case p.Left == nil && p.Right == nil:
+		return fmt.Sprintf("%s%s", p.Op, p.Tables)
+	case p.Right == nil:
+		return fmt.Sprintf("%s(%s)", p.Op, p.Left)
+	default:
+		return fmt.Sprintf("%s(%s,%s)", p.Op, p.Left, p.Right)
+	}
+}
+
+// Entry is one MEMO entry: the planning state for one table set.
+type Entry struct {
+	Tables bitset.Set
+	// Card is the cached output cardinality (a logical property).
+	Card float64
+	// Equiv caches the equivalence classes induced by predicates applied
+	// within Tables.
+	Equiv *query.Equiv
+	// OuterEligible records whether plans of this entry may serve as the
+	// outer of a join; the enumerator marks it from outer-join and
+	// correlation constraints.
+	OuterEligible bool
+	// Plans are the non-pruned plans (real optimization mode).
+	Plans []*Plan
+	// Orders and Parts are the interesting-property value lists
+	// (plan-estimate mode, and seeds for enforcer generation in real mode).
+	Orders props.OrderList
+	Parts  props.PartitionList
+	// PropsPropagated supports the paper's first-join-only simplification
+	// (DB2 experience item 4): properties are propagated into an entry only
+	// by the first join producing it.
+	PropsPropagated bool
+}
+
+// Memo is the table of entries for one query block.
+type Memo struct {
+	entries map[bitset.Set]*Entry
+	bySize  [][]*Entry
+	nplans  int
+	// PipelineMatters makes pipelineability a pruning-relevant property:
+	// a non-pipelined plan can no longer dominate a pipelined one. Set by
+	// the optimizer for FETCH FIRST queries.
+	PipelineMatters bool
+	// ExpMatters makes expensive-predicate deferral pruning-relevant: plans
+	// are comparable only with equal deferral sets. Set when the query has
+	// expensive predicates.
+	ExpMatters bool
+}
+
+// New creates an empty MEMO for a block of n tables.
+func New(n int) *Memo {
+	return &Memo{
+		entries: make(map[bitset.Set]*Entry),
+		bySize:  make([][]*Entry, n+1),
+	}
+}
+
+// GetOrCreate returns the entry for s, creating it if needed; created
+// reports whether this call created it.
+func (m *Memo) GetOrCreate(s bitset.Set) (e *Entry, created bool) {
+	if e, ok := m.entries[s]; ok {
+		return e, false
+	}
+	e = &Entry{Tables: s, OuterEligible: true}
+	m.entries[s] = e
+	m.bySize[s.Len()] = append(m.bySize[s.Len()], e)
+	return e, true
+}
+
+// Entry returns the entry for s, or nil.
+func (m *Memo) Entry(s bitset.Set) *Entry { return m.entries[s] }
+
+// OfSize returns all entries whose table set has k elements, in creation
+// order (deterministic given a deterministic enumerator).
+func (m *Memo) OfSize(k int) []*Entry {
+	if k < 0 || k >= len(m.bySize) {
+		return nil
+	}
+	return m.bySize[k]
+}
+
+// NumEntries returns the number of entries.
+func (m *Memo) NumEntries() int { return len(m.entries) }
+
+// NumPlans returns the number of plans currently stored (post-pruning).
+func (m *Memo) NumPlans() int { return m.nplans }
+
+// Entries returns all entries ordered by set size then set value
+// (deterministic).
+func (m *Memo) Entries() []*Entry {
+	out := make([]*Entry, 0, len(m.entries))
+	for _, group := range m.bySize {
+		g := append([]*Entry(nil), group...)
+		sort.Slice(g, func(i, j int) bool { return g[i].Tables < g[j].Tables })
+		out = append(out, g...)
+	}
+	return out
+}
+
+// dominates reports whether plan a makes plan b redundant: a costs no more,
+// delivers the same partition, and delivers an order at least as general
+// (b's order is a prefix of a's). This is the pruning rule of Section 2.1:
+// "prunes a higher cost plan if there is a cheaper plan with the same or
+// more general properties".
+func dominates(a, b *Plan, eq *query.Equiv, m *Memo) bool {
+	if a.Cost > b.Cost {
+		return false
+	}
+	if !a.Part.EqualUnder(b.Part, eq) {
+		return false
+	}
+	if m.PipelineMatters && b.Pipelined && !a.Pipelined {
+		return false
+	}
+	if m.ExpMatters && a.DeferredExp != b.DeferredExp {
+		return false
+	}
+	return b.Order.PrefixOfUnder(a.Order, eq)
+}
+
+// Dominated reports whether some existing plan of the entry makes p
+// redundant — the check InsertPlan applies, exposed so callers (the
+// pilot-pass accounting) can distinguish plans the cost bound removed from
+// plans ordinary pruning would have removed anyway.
+func (m *Memo) Dominated(e *Entry, p *Plan) bool {
+	for _, have := range e.Plans {
+		if dominates(have, p, e.Equiv, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// InsertPlan adds p to entry e, applying property-aware pruning in both
+// directions. It reports whether the plan survived. The caller counts
+// generated plans before calling (pruned plans were still generated — the
+// estimator's target quantity is plans generated, not plans kept).
+func (m *Memo) InsertPlan(e *Entry, p *Plan) bool {
+	for _, have := range e.Plans {
+		if dominates(have, p, e.Equiv, m) {
+			return false
+		}
+	}
+	kept := e.Plans[:0]
+	for _, have := range e.Plans {
+		if dominates(p, have, e.Equiv, m) {
+			m.nplans--
+			continue
+		}
+		kept = append(kept, have)
+	}
+	e.Plans = append(kept, p)
+	m.nplans++
+	return true
+}
+
+// Best returns the cheapest plan of the entry, or nil if it has none.
+func (e *Entry) Best() *Plan {
+	var best *Plan
+	for _, p := range e.Plans {
+		if best == nil || p.Cost < best.Cost {
+			best = p
+		}
+	}
+	return best
+}
+
+// BestWithOrder returns the cheapest plan delivering an order that subsumes
+// o (o is a prefix of the plan's order), or nil. The subsumption lookup is
+// what creates the paper's coverage effect: a request for a join-column
+// order can be answered by a more general ORDER BY order, producing an
+// extra merge-join plan.
+func (e *Entry) BestWithOrder(o props.Order, eq *query.Equiv) *Plan {
+	var best *Plan
+	for _, p := range e.Plans {
+		if !o.PrefixOfUnder(p.Order, eq) {
+			continue
+		}
+		if best == nil || p.Cost < best.Cost {
+			best = p
+		}
+	}
+	return best
+}
+
+// BestWithPartition returns the cheapest plan delivering exactly the given
+// partition (modulo equivalence), or nil.
+func (e *Entry) BestWithPartition(part props.Partition, eq *query.Equiv) *Plan {
+	var best *Plan
+	for _, p := range e.Plans {
+		if !p.Part.EqualUnder(part, eq) {
+			continue
+		}
+		if best == nil || p.Cost < best.Cost {
+			best = p
+		}
+	}
+	return best
+}
+
+// PropertyListBytes returns the memory the interesting-property lists of
+// all entries occupy, assuming the paper's ~4 bytes per property value. The
+// estimator's memory-consumption extension (Section 6.2) builds on this.
+func (m *Memo) PropertyListBytes() int {
+	const bytesPerProperty = 4
+	total := 0
+	for _, e := range m.entries {
+		total += (e.Orders.Len() + e.Parts.Len()) * bytesPerProperty
+	}
+	return total
+}

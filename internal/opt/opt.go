@@ -1,0 +1,385 @@
+// Package opt is the optimizer facade: it wires the join enumerator to the
+// plan generator, processes nested query blocks bottom-up, applies the
+// finishing enforcers (final ORDER BY sort, aggregation), and exposes the
+// optimization levels of the reproduced system — the greedy low level and
+// dynamic-programming levels with the knob presets the paper's experiments
+// use. It also instruments each compilation with the wall-clock breakdown
+// that regenerates Figure 2.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cote/internal/cost"
+	"cote/internal/enum"
+	"cote/internal/greedy"
+	"cote/internal/memo"
+	"cote/internal/plangen"
+	"cote/internal/props"
+	"cote/internal/query"
+)
+
+// Level is an optimization level. Higher levels search larger spaces and
+// take longer to compile — the trade-off the meta-optimizer automates.
+type Level int
+
+// The optimization levels of the reproduced system.
+const (
+	// LevelLow is the polynomial greedy heuristic.
+	LevelLow Level = iota
+	// LevelMediumLeftDeep is dynamic programming over left-deep trees.
+	LevelMediumLeftDeep
+	// LevelMediumZigZag is dynamic programming over zig-zag trees.
+	LevelMediumZigZag
+	// LevelHighInner2 is bushy dynamic programming with composite inners
+	// limited to 2 tables — "certain limits on the composite inner size",
+	// the level the paper's experiments run at.
+	LevelHighInner2
+	// LevelHigh is unrestricted bushy dynamic programming.
+	LevelHigh
+	NumLevels
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelLow:
+		return "low(greedy)"
+	case LevelMediumLeftDeep:
+		return "medium(leftdeep)"
+	case LevelMediumZigZag:
+		return "medium(zigzag)"
+	case LevelHighInner2:
+		return "high(inner<=2)"
+	case LevelHigh:
+		return "high(bushy)"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// EnumOptions returns the enumerator knobs of a DP level. It panics for
+// LevelLow, which does not enumerate.
+func (l Level) EnumOptions() enum.Options {
+	switch l {
+	case LevelMediumLeftDeep:
+		return enum.Options{Shape: enum.LeftDeep}
+	case LevelMediumZigZag:
+		return enum.Options{Shape: enum.ZigZag}
+	case LevelHighInner2:
+		return enum.Options{CompositeInnerLimit: 2}
+	case LevelHigh:
+		return enum.Options{}
+	}
+	panic(fmt.Sprintf("opt: level %v has no enumerator options", l))
+}
+
+// Subsumes reports whether the search space of level l contains that of m —
+// the condition under which a single estimation pass at l can piggyback
+// estimates for m (Section 6.2).
+func (l Level) Subsumes(m Level) bool {
+	if m == LevelLow {
+		return true
+	}
+	switch l {
+	case LevelHigh:
+		return true
+	case LevelHighInner2:
+		return m == LevelHighInner2 || m == LevelMediumLeftDeep
+	case LevelMediumZigZag:
+		return m == LevelMediumZigZag || m == LevelMediumLeftDeep
+	case LevelMediumLeftDeep:
+		return m == LevelMediumLeftDeep
+	}
+	return false
+}
+
+// Options configures one optimization.
+type Options struct {
+	// Level selects the search space. Default LevelHighInner2.
+	Level Level
+	// Config selects serial or parallel costing. Default serial.
+	Config *cost.Config
+	// OrderPolicy is the order-property generation policy (default eager,
+	// as in DB2).
+	OrderPolicy props.GenerationPolicy
+	// PilotPass, when true, first runs the greedy level and prunes any
+	// generated plan costlier than the greedy plan (Section 6.1).
+	PilotPass bool
+	// CartesianPolicy overrides the enumerator's Cartesian handling
+	// (default: the card-one heuristic).
+	CartesianPolicy enum.CartesianPolicy
+}
+
+// BlockResult is the outcome of optimizing one query block.
+type BlockResult struct {
+	Block     *query.Block
+	Plan      *memo.Plan
+	Memo      *memo.Memo
+	EnumStats enum.Stats
+	Counters  plangen.Counters
+	Elapsed   time.Duration
+}
+
+// Result is the outcome of optimizing a query (all blocks).
+type Result struct {
+	// Plan is the final plan of the outermost block, including finishing
+	// enforcers.
+	Plan *memo.Plan
+	// Blocks holds per-block results, children first.
+	Blocks []*BlockResult
+	// Elapsed is the total compilation wall time.
+	Elapsed time.Duration
+}
+
+// TotalCounters sums the plan-generation counters over all blocks.
+func (r *Result) TotalCounters() plangen.Counters {
+	var total plangen.Counters
+	for _, b := range r.Blocks {
+		for m := range total.Generated {
+			total.Generated[m] += b.Counters.Generated[m]
+			total.GenTime[m] += b.Counters.GenTime[m]
+		}
+		total.AccessPlans += b.Counters.AccessPlans
+		total.EnforcerPlans += b.Counters.EnforcerPlans
+		total.PilotPruned += b.Counters.PilotPruned
+		total.SaveTime += b.Counters.SaveTime
+		total.AccessTime += b.Counters.AccessTime
+	}
+	return total
+}
+
+// TotalJoins sums enumerated joins over all blocks.
+func (r *Result) TotalJoins() (ordered, pairs int) {
+	for _, b := range r.Blocks {
+		ordered += b.EnumStats.Joins
+		pairs += b.EnumStats.Pairs
+	}
+	return ordered, pairs
+}
+
+// Breakdown is the Figure 2 compilation-time decomposition.
+type Breakdown struct {
+	MGJN, NLJN, HSJN, PlanSaving, Other float64 // fractions summing to 1
+}
+
+// Breakdown computes the compilation-time breakdown of the result.
+func (r *Result) Breakdown() Breakdown {
+	c := r.TotalCounters()
+	total := r.Elapsed.Seconds()
+	if total <= 0 {
+		return Breakdown{Other: 1}
+	}
+	b := Breakdown{
+		MGJN:       c.GenTime[props.MGJN].Seconds() / total,
+		NLJN:       c.GenTime[props.NLJN].Seconds() / total,
+		HSJN:       c.GenTime[props.HSJN].Seconds() / total,
+		PlanSaving: c.SaveTime.Seconds() / total,
+	}
+	b.Other = 1 - b.MGJN - b.NLJN - b.HSJN - b.PlanSaving
+	if b.Other < 0 {
+		b.Other = 0
+	}
+	return b
+}
+
+// Optimize compiles the query at the given level: child blocks first (their
+// output cardinalities feed the parent, as in the paper's multi-block
+// extension), then the outermost block, then the finishing enforcers.
+func Optimize(blk *query.Block, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	for _, b := range blk.Blocks() {
+		br, err := optimizeBlock(b, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Blocks = append(res.Blocks, br)
+		// Export the block's output cardinality to the derived table
+		// reference(s) in its parent.
+		propagateDerivedCard(blk, b, br.Plan.Card)
+	}
+	root := res.Blocks[len(res.Blocks)-1]
+	res.Plan = finish(root.Block, root.Plan, root.Memo, opts)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// propagateDerivedCard stores the optimized output cardinality of child on
+// every TableRef (in any block of root's tree) deriving from it.
+func propagateDerivedCard(root, child *query.Block, card float64) {
+	for _, b := range root.Blocks() {
+		for _, ref := range b.Tables {
+			if ref.Derived == child {
+				ref.CardOverride = card
+			}
+		}
+	}
+}
+
+// optimizeBlock compiles one block.
+func optimizeBlock(blk *query.Block, opts Options) (*BlockResult, error) {
+	t0 := time.Now()
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = cost.Serial
+	}
+	card := cost.NewEstimator(blk, cost.Full)
+
+	if opts.Level == LevelLow {
+		g, err := greedy.Optimize(blk, card, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &BlockResult{
+			Block: blk, Plan: g.Plan, Memo: memo.New(blk.NumTables()),
+			Elapsed: time.Since(t0),
+		}, nil
+	}
+
+	sc := props.NewScope(blk)
+	mem := memo.New(blk.NumTables())
+	mem.PipelineMatters = sc.PipelineInteresting()
+	mem.ExpMatters = !sc.ExpensiveTables().Empty()
+	popts := plangen.Options{Config: cfg, OrderPolicy: opts.OrderPolicy}
+	if opts.PilotPass {
+		g, err := greedy.Optimize(blk, card, cfg)
+		if err != nil {
+			return nil, err
+		}
+		popts.PilotBound = g.Cost
+	}
+	gen := plangen.New(blk, sc, mem, card, popts)
+
+	eopts := opts.Level.EnumOptions()
+	eopts.Cartesian = opts.CartesianPolicy
+	st, err := enum.New(blk, mem, card, eopts).Run(gen.Hooks())
+	if err != nil {
+		return nil, err
+	}
+	rootEntry := mem.Entry(blk.AllTables())
+	best := rootEntry.Best()
+	if best == nil {
+		return nil, fmt.Errorf("opt: query %q produced no plan (pilot bound too tight?)", blk.Name)
+	}
+	return &BlockResult{
+		Block: blk, Plan: best, Memo: mem,
+		EnumStats: st, Counters: gen.Counters,
+		Elapsed: time.Since(t0),
+	}, nil
+}
+
+// finish applies the top-level enforcers: a final sort when no plan
+// delivers the ORDER BY order, and the aggregation operator for GROUP BY,
+// choosing the streaming variant when the input is suitably ordered.
+func finish(blk *query.Block, best *memo.Plan, mem *memo.Memo, opts Options) *memo.Plan {
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = cost.Serial
+	}
+	plan := best
+	root := mem.Entry(blk.AllTables())
+	eq := blk.EquivWithin(blk.AllTables())
+
+	// Apply any expensive predicates the plan deferred past its joins.
+	if !plan.DeferredExp.Empty() {
+		sc := props.NewScope(blk)
+		cost2, card := plan.Cost, plan.Card
+		n := 0
+		for t := plan.DeferredExp.Next(0); t >= 0; t = plan.DeferredExp.Next(t + 1) {
+			sel, k := sc.ExpensiveSel(t)
+			n += k
+			card *= sel
+		}
+		cost2 += cfg.ExpensivePredCost(plan.Card, n)
+		plan = &memo.Plan{
+			Op: plan.Op, Left: plan.Left, Right: plan.Right,
+			Tables: plan.Tables, Order: plan.Order, Part: plan.Part,
+			Cost: cost2, Card: card, Pipelined: plan.Pipelined,
+		}
+	}
+
+	if len(blk.GroupBy) > 0 {
+		gbOrder := props.Order{Cols: blk.GroupBy}
+		ordered := gbOrder.SetSubsetOfUnder(props.Order{Cols: orderColsOf(plan)}, eq) && plan.Order.Len() >= len(blk.GroupBy)
+		if root != nil {
+			if p := root.BestWithOrder(gbOrder, eq); p != nil && p.Cost+cfg.GroupByCost(p.Card, groupCount(blk, p), true) < plan.Cost+cfg.GroupByCost(plan.Card, groupCount(blk, plan), false) {
+				plan, ordered = p, true
+			}
+		}
+		groups := groupCount(blk, plan)
+		plan = &memo.Plan{
+			Op: memo.OpGroupBy, Left: plan, Tables: plan.Tables,
+			Order: plan.Order, Part: plan.Part,
+			Cost: plan.Cost + cfg.GroupByCost(plan.Card, groups, ordered),
+			Card: groups,
+		}
+	}
+
+	// FETCH FIRST N ROWS: a pipelined plan stops after N rows; charge it
+	// only the fraction of its cost it actually runs. Blocking plans pay in
+	// full before the first row.
+	if blk.FirstN > 0 && len(blk.GroupBy) == 0 && len(blk.OrderBy) == 0 && root != nil {
+		bestAdj := math.Inf(1)
+		var pick *memo.Plan
+		for _, p := range root.Plans {
+			adj := p.Cost
+			if p.Pipelined && p.Card > float64(blk.FirstN) {
+				adj = p.Cost * float64(blk.FirstN) / p.Card
+			}
+			if adj < bestAdj {
+				bestAdj, pick = adj, p
+			}
+		}
+		if pick != nil {
+			plan = &memo.Plan{
+				Op: pick.Op, Left: pick.Left, Right: pick.Right,
+				Tables: pick.Tables, Order: pick.Order, Part: pick.Part,
+				Cost: bestAdj, Card: math.Min(pick.Card, float64(blk.FirstN)),
+				Pipelined: pick.Pipelined,
+			}
+		}
+	}
+
+	if len(blk.OrderBy) > 0 {
+		want := props.Order{Cols: blk.OrderBy}
+		if !want.PrefixOfUnder(plan.Order, eq) {
+			alt := (*memo.Plan)(nil)
+			if root != nil && len(blk.GroupBy) == 0 {
+				alt = root.BestWithOrder(want, eq)
+			}
+			sorted := &memo.Plan{
+				Op: memo.OpSort, Left: plan, Tables: plan.Tables,
+				Order: want, Part: plan.Part,
+				Cost: plan.Cost + cfg.SortCost(plan.Card),
+				Card: plan.Card,
+			}
+			if alt != nil && alt.Cost < sorted.Cost {
+				plan = alt
+			} else {
+				plan = sorted
+			}
+		}
+	}
+	return plan
+}
+
+// orderColsOf returns the delivered order columns of a plan.
+func orderColsOf(p *memo.Plan) []query.ColID { return p.Order.Cols }
+
+// groupCount estimates the number of groups: the product of grouping-column
+// NDVs capped by the input cardinality.
+func groupCount(blk *query.Block, input *memo.Plan) float64 {
+	groups := 1.0
+	for _, c := range blk.GroupBy {
+		groups *= blk.Column(c).Col.NDV
+	}
+	if groups > input.Card {
+		groups = input.Card
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}

@@ -1,0 +1,112 @@
+package opt
+
+import (
+	"testing"
+
+	"cote/internal/catalog"
+	"cote/internal/memo"
+	"cote/internal/props"
+	"cote/internal/query"
+)
+
+// firstNBlock builds a 3-table chain with or without FETCH FIRST.
+func firstNBlock(t *testing.T, firstN int) *query.Block {
+	t.Helper()
+	cb := catalog.NewBuilder("fn")
+	cb.Table("a", 1_000_000).Column("x", 10_000).Column("v", 500)
+	cb.Table("b", 500_000).Column("x", 10_000).Column("y", 5_000)
+	cb.Table("c", 100_000).Column("y", 5_000)
+	cat := cb.Build()
+	qb := query.NewBuilder("fn", cat)
+	qb.AddTable("a", "")
+	qb.AddTable("b", "")
+	qb.AddTable("c", "")
+	qb.JoinEq("a", "x", "b", "x")
+	qb.JoinEq("b", "y", "c", "y")
+	if firstN > 0 {
+		qb.FetchFirst(firstN)
+	}
+	return qb.MustBuild()
+}
+
+func TestFirstNKeepsPipelinedPlans(t *testing.T) {
+	plain, err := Optimize(firstNBlock(t, 0), Options{Level: LevelHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstN, err := Optimize(firstNBlock(t, 10), Options{Level: LevelHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipelineability becomes a pruning-relevant property: the MEMO retains
+	// more plans, so later joins generate more (the Table 1 effect on the
+	// paper's target quantity).
+	cp, cf := plain.TotalCounters(), firstN.TotalCounters()
+	if cf.TotalGenerated() <= cp.TotalGenerated() {
+		t.Fatalf("FETCH FIRST did not grow the search: %d vs %d",
+			cf.TotalGenerated(), cp.TotalGenerated())
+	}
+	// The chosen plan streams and its cost reflects early termination.
+	if !firstN.Plan.Pipelined {
+		t.Fatalf("FETCH FIRST plan is not pipelined: %v", firstN.Plan)
+	}
+	if firstN.Plan.Cost >= plain.Plan.Cost {
+		t.Fatalf("first-N plan cost %v not below full plan cost %v",
+			firstN.Plan.Cost, plain.Plan.Cost)
+	}
+	if firstN.Plan.Card > 10 {
+		t.Fatalf("first-N output card = %v", firstN.Plan.Card)
+	}
+}
+
+func TestPipelinedFlagPropagation(t *testing.T) {
+	res, err := Optimize(firstNBlock(t, 5), Options{Level: LevelHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk all retained plans: every pipelined join must be an NLJN whose
+	// outer is pipelined; HSJN and enforced-sort MGJN plans must not be
+	// pipelined.
+	for _, e := range res.Blocks[0].Memo.Entries() {
+		for _, p := range e.Plans {
+			switch p.Op {
+			case memo.OpHSJN:
+				if p.Pipelined {
+					t.Fatalf("pipelined hash join: %v", p)
+				}
+			case memo.OpNLJN:
+				if p.Pipelined && !p.Left.Pipelined {
+					t.Fatalf("NLJN pipelined without pipelined outer: %v", p)
+				}
+			case memo.OpSort:
+				if p.Pipelined {
+					t.Fatalf("pipelined sort: %v", p)
+				}
+			}
+		}
+	}
+}
+
+func TestFirstNWithOrderByStillSorts(t *testing.T) {
+	// ORDER BY forces materialization; FETCH FIRST must not suppress it.
+	cb := catalog.NewBuilder("fno")
+	cb.Table("a", 10_000).Column("x", 100).Column("m", 50)
+	cb.Table("b", 10_000).Column("x", 100)
+	cat := cb.Build()
+	qb := query.NewBuilder("fno", cat)
+	qb.AddTable("a", "")
+	qb.AddTable("b", "")
+	qb.JoinEq("a", "x", "b", "x")
+	qb.OrderBy(qb.Col("a", "m"))
+	qb.FetchFirst(10)
+	blk := qb.MustBuild()
+	res, err := Optimize(blk, Options{Level: LevelHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := blk.EquivWithin(blk.AllTables())
+	want := props.Order{Cols: blk.OrderBy}
+	if !want.PrefixOfUnder(res.Plan.Order, eq) {
+		t.Fatalf("final plan not ordered for ORDER BY: %v", res.Plan)
+	}
+}

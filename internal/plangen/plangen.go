@@ -1,0 +1,584 @@
+// Package plangen implements the real plan-generation path of the
+// reproduced optimizer: access plans for base tables (scans, index scans,
+// eager SORT enforcers), the three join methods with their property
+// propagation behaviour (Table 2 of the paper), partition handling for the
+// shared-nothing parallel version (co-located joins, repartition enforcers,
+// eager materialization of (order, partition) combinations), and
+// property-aware pruning into the MEMO.
+//
+// The generator keeps per-join-method counters of plans *generated* (before
+// pruning) — the ground truth against which the paper's estimator is
+// evaluated in Figure 5 — and wall-clock timers per join method plus the
+// time spent saving plans into the MEMO, which together regenerate the
+// Figure 2 compilation-time breakdown.
+package plangen
+
+import (
+	"time"
+
+	"cote/internal/cost"
+	"cote/internal/enum"
+	"cote/internal/memo"
+	"cote/internal/props"
+	"cote/internal/query"
+)
+
+// Counters aggregates what one optimization run generated and where its
+// time went.
+type Counters struct {
+	// Generated counts join plans generated per method, before pruning.
+	Generated [props.NumJoinMethods]int
+	// AccessPlans counts scan and index-scan plans.
+	AccessPlans int
+	// EnforcerPlans counts SORT and REPARTITION enforcer plans.
+	EnforcerPlans int
+	// PilotPruned counts join plans discarded by the pilot-pass bound.
+	PilotPruned int
+
+	// GenTime is the wall time spent generating (costing) plans per join
+	// method; SaveTime is the time spent inserting plans into the MEMO
+	// ("plan saving" in Figure 2); AccessTime covers base-table access and
+	// enforcer generation.
+	GenTime    [props.NumJoinMethods]time.Duration
+	SaveTime   time.Duration
+	AccessTime time.Duration
+}
+
+// TotalGenerated returns the total number of join plans generated.
+func (c *Counters) TotalGenerated() int {
+	t := 0
+	for _, g := range c.Generated {
+		t += g
+	}
+	return t
+}
+
+// Options configures a Generator.
+type Options struct {
+	// Config selects the cost configuration (serial or parallel).
+	Config *cost.Config
+	// OrderPolicy is the generation policy for order properties; DB2 (and
+	// hence the default here) is eager.
+	OrderPolicy props.GenerationPolicy
+	// PilotBound, when positive, drops any generated join plan whose cost
+	// exceeds it — the pilot-pass search-space reduction discussed in
+	// Section 6.1.
+	PilotBound float64
+}
+
+// Generator produces plans when driven by the join enumerator's hooks.
+type Generator struct {
+	blk      *query.Block
+	sc       *props.Scope
+	mem      *memo.Memo
+	card     *cost.Estimator
+	cfg      *cost.Config
+	policy   props.GenerationPolicy
+	parallel bool
+	bound    float64
+
+	Counters Counters
+}
+
+// New builds a plan generator writing into mem. The cardinality estimator
+// should be the full-mode one; the Generator shares it with the enumerator
+// so both see identical logical properties.
+func New(blk *query.Block, sc *props.Scope, mem *memo.Memo, card *cost.Estimator, opts Options) *Generator {
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = cost.Serial
+	}
+	return &Generator{
+		blk:      blk,
+		sc:       sc,
+		mem:      mem,
+		card:     card,
+		cfg:      cfg,
+		policy:   opts.OrderPolicy,
+		parallel: cfg.Nodes > 1,
+		bound:    opts.PilotBound,
+	}
+}
+
+// Hooks returns the enumerator callbacks that drive this generator.
+func (g *Generator) Hooks() enum.Hooks {
+	return enum.Hooks{
+		Init:     g.initEntry,
+		Join:     g.joinEntry,
+		Complete: g.completeEntry,
+	}
+}
+
+// initEntry generates access plans for single-table entries. Composite
+// entries get plans only through joins.
+func (g *Generator) initEntry(e *memo.Entry) {
+	if e.Tables.Len() != 1 {
+		return
+	}
+	start := time.Now()
+	t := e.Tables.Min()
+	ref := g.blk.Tables[t]
+	rows := ref.BaseRows()
+	fc := g.card.FilteredCard(t)
+	part := g.basePartition(t)
+
+	// Table scan: the always-available don't-care plan. Scans stream, so
+	// they are pipelined. Expensive predicates are evaluated here (the
+	// apply-at-scan variant); a defer variant follows below.
+	expSel, expN := g.sc.ExpensiveSel(t)
+	g.savePlan(e, &memo.Plan{
+		Op: memo.OpTableScan, Tables: e.Tables,
+		Cost: g.cfg.ScanCost(rows, fc) + g.cfg.ExpensivePredCost(rows, expN),
+		Card: fc, Part: part,
+		Pipelined: true,
+	})
+	if expN > 0 {
+		// Defer-past-joins variant (Table 1, row 5): cheaper to produce,
+		// more rows flow upward, and the finishing step pays the predicate
+		// cost on whatever survives the joins.
+		g.Counters.AccessPlans++
+		g.savePlan(e, &memo.Plan{
+			Op: memo.OpTableScan, Tables: e.Tables,
+			Cost: g.cfg.ScanCost(rows, fc/expSel), Card: fc / expSel, Part: part,
+			Pipelined:   true,
+			DeferredExp: e.Tables,
+		})
+	}
+
+	// Index scans deliver their index order naturally.
+	for _, o := range g.sc.NaturalBaseOrders(t, e.Equiv) {
+		match := g.indexMatchRows(t, o, rows, fc)
+		g.savePlan(e, &memo.Plan{
+			Op: memo.OpIndexScan, Tables: e.Tables,
+			Order: g.retireOrDeliver(o, e), Part: part,
+			Cost: g.cfg.IndexScanCost(rows, match), Card: fc,
+			Pipelined: true,
+		})
+	}
+	g.Counters.AccessPlans += len(e.Plans)
+
+	// Eager order policy: enforce every pushed-down interesting order that
+	// no natural plan delivers.
+	if g.policy == props.Eager {
+		base := e.Best()
+		for _, o := range g.sc.EagerBaseOrders(t, e.Equiv) {
+			if e.BestWithOrder(o, e.Equiv) != nil {
+				continue
+			}
+			g.Counters.EnforcerPlans++
+			g.savePlan(e, &memo.Plan{
+				Op: memo.OpSort, Left: base, Tables: e.Tables,
+				Order: o, Part: part,
+				Cost: base.Cost + g.cfg.SortCost(fc)*sortWidthFactor(o),
+				Card: fc,
+			})
+		}
+	}
+	g.Counters.AccessTime += time.Since(start)
+}
+
+// indexMatchRows estimates the rows fetched through an index whose leading
+// column is o.Cols[0]: the filtered cardinality when a local equality
+// predicate binds that column, the whole table otherwise.
+func (g *Generator) indexMatchRows(t int, o props.Order, rows, fc float64) float64 {
+	if o.Empty() {
+		return rows
+	}
+	for _, lp := range g.blk.LocalPreds {
+		if lp.Col == o.Cols[0] && lp.Op == query.Eq {
+			return fc
+		}
+	}
+	return rows
+}
+
+// sortWidthFactor makes wider sort keys slightly more expensive, so a sort
+// on (a) is not dominated for free by a sort on (a, b).
+func sortWidthFactor(o props.Order) float64 {
+	return 1 + 0.05*float64(o.Len()-1)
+}
+
+// basePartition returns the physical partitioning of table t (parallel
+// mode, lazy generation), or don't-care.
+func (g *Generator) basePartition(t int) props.Partition {
+	if !g.parallel {
+		return props.Partition{}
+	}
+	p, ok := g.sc.NaturalBasePartition(t)
+	if !ok {
+		return props.Partition{}
+	}
+	return p
+}
+
+// joinEntry generates join plans for one enumerated (outer, inner) join.
+func (g *Generator) joinEntry(outer, inner, result *memo.Entry) {
+	outerCols, innerCols := g.sc.JoinColsBetween(outer.Tables, inner.Tables)
+	candidates := g.candidatePartitions(outer, inner, result, outerCols, innerCols)
+	for _, pp := range candidates {
+		g.genNLJN(outer, inner, result, pp)
+		if len(outerCols) > 0 {
+			g.genMGJN(outer, inner, result, pp, outerCols, innerCols)
+			g.genHSJN(outer, inner, result, pp)
+		}
+	}
+}
+
+// candidatePartitions returns the execution partitions of a join: every
+// distinct partition present among input plans whose keys are covered by the
+// join columns (a co-located execution), or — when none qualifies — a fresh
+// repartition on the join columns, DB2's heuristic reproduced as the paper's
+// Section 4 describes. Serial mode runs everything on the single don't-care
+// partition.
+func (g *Generator) candidatePartitions(outer, inner, result *memo.Entry, outerCols, innerCols []query.ColID) []props.Partition {
+	if !g.parallel {
+		return []props.Partition{{}}
+	}
+	joinCols := append(append([]query.ColID(nil), outerCols...), innerCols...)
+	var list props.PartitionList
+	for _, e := range []*memo.Entry{outer, inner} {
+		for _, p := range e.Plans {
+			if p.Part.Empty() {
+				continue
+			}
+			if p.Part.CoversJoinCols(joinCols, result.Equiv) {
+				list.Add(p.Part, result.Equiv)
+			}
+		}
+	}
+	if list.Len() == 0 {
+		if len(outerCols) > 0 {
+			return []props.Partition{props.PartitionOn(g.cfg.Nodes, outerCols...)}
+		}
+		// Cartesian product: no co-location key; run on the don't-care
+		// distribution (inner replicated).
+		return []props.Partition{{}}
+	}
+	return list.Partitions()
+}
+
+// innerInput returns the inner-side input plan for an execution on pp and
+// the repartition cost to co-locate it, preferring an already co-located
+// plan.
+func (g *Generator) innerInput(inner *memo.Entry, pp props.Partition, eq *query.Equiv) (*memo.Plan, float64) {
+	if !g.parallel || pp.Empty() {
+		best := inner.Best()
+		extra := 0.0
+		if g.parallel {
+			extra = g.cfg.RepartitionCost(best.Card) // replicate for products
+		}
+		return best, extra
+	}
+	if colocated := inner.BestWithPartition(pp, eq); colocated != nil {
+		return colocated, 0
+	}
+	best := inner.Best()
+	return best, g.cfg.RepartitionCost(best.Card)
+}
+
+// genNLJN generates nested-loops plans executing on partition pp: one per
+// outer plan co-located on pp (propagating its order — the full propagation
+// of Table 2), plus one from the cheapest outer repartitioned (order lost).
+func (g *Generator) genNLJN(outer, inner, result *memo.Entry, pp props.Partition) {
+	defer g.timeMethod(props.NLJN)()
+	ip, innerExtra := g.innerInput(inner, pp, result.Equiv)
+	made := 0
+	for _, po := range outer.Plans {
+		if g.parallel && !po.Part.EqualUnder(pp, result.Equiv) {
+			continue
+		}
+		made++
+		g.emitJoin(result, memo.OpNLJN, po, ip,
+			g.cfg.NLJNCost(po.Cost, po.Card, ip.Cost+innerExtra, ip.Card, result.Card),
+			g.propagateOrder(po, result), pp)
+	}
+	if g.parallel && made == 0 {
+		// No co-located outer: repartition the cheapest one. Repartitioning
+		// destroys order, so the eager policy re-sorts the repartitioned
+		// stream once per interesting order present among the outer's plans
+		// — real parallel optimization explores the full (order, partition)
+		// cross product, which is exactly what the estimator's separate
+		// lists summarize by multiplication.
+		po := outer.Best()
+		repart := g.cfg.RepartitionCost(po.Card)
+		g.emitJoin(result, memo.OpNLJN, po, ip,
+			g.cfg.NLJNCost(po.Cost+repart, po.Card, ip.Cost+innerExtra, ip.Card, result.Card),
+			props.Order{}, pp)
+		var orders props.OrderList
+		for _, p := range outer.Plans {
+			if p.Order.Empty() || p.OrderKnownRetired {
+				continue
+			}
+			if !orders.Add(p.Order, result.Equiv) {
+				continue
+			}
+			resort := g.cfg.SortCost(po.Card) * sortWidthFactor(p.Order)
+			g.emitJoin(result, memo.OpNLJN, po, ip,
+				g.cfg.NLJNCost(po.Cost+repart+resort, po.Card, ip.Cost+innerExtra, ip.Card, result.Card),
+				g.retireOrDeliver(p.Order, result), pp)
+		}
+	}
+}
+
+// MergeCandidates returns the sort orders a merge join between the given
+// join-column pairs considers: one per individual equality predicate
+// (remaining predicates applied as residuals) plus, with several
+// predicates, the full composite order. Both the real generator and the
+// estimator derive merge-join plan counts from this shared definition.
+func MergeCandidates(outerCols, innerCols []query.ColID) (outs, ins []props.Order) {
+	for i := range outerCols {
+		outs = append(outs, props.OrderOn(outerCols[i]))
+		ins = append(ins, props.OrderOn(innerCols[i]))
+	}
+	if len(outerCols) > 1 {
+		outs = append(outs, props.OrderOn(outerCols...))
+		ins = append(ins, props.OrderOn(innerCols...))
+	}
+	return outs, ins
+}
+
+// genMGJN generates sort-merge plans on partition pp: one enforced plan per
+// merge candidate order (eager policy — inputs are sorted when not
+// naturally ordered), plus one coverage plan per outer plan whose order
+// strictly subsumes a candidate (the property subsumption effect of
+// Section 3.3 — requesting a plan ordered on o2 returns plans ordered on
+// any more general o1 as well).
+func (g *Generator) genMGJN(outer, inner, result *memo.Entry, pp props.Partition, outerCols, innerCols []query.ColID) {
+	defer g.timeMethod(props.MGJN)()
+	outs, ins := MergeCandidates(outerCols, innerCols)
+
+	var emitted props.OrderList // output orders already produced for this join
+	for i := range outs {
+		if !emitted.Add(outs[i], result.Equiv) {
+			continue // equivalent predicates collapse to one merge order
+		}
+		op, opExtra := g.sideInput(outer, pp, outs[i], result.Equiv)
+		ip, ipExtra := g.sideInput(inner, pp, ins[i], result.Equiv)
+		g.emitJoin(result, memo.OpMGJN, op, ip,
+			g.cfg.MGJNCost(op.Cost+opExtra, op.Card, ip.Cost+ipExtra, ip.Card, result.Card),
+			g.retireOrDeliver(outs[i], result), pp)
+	}
+
+	for _, po := range outer.Plans {
+		if g.parallel && !po.Part.EqualUnder(pp, result.Equiv) {
+			continue
+		}
+		if po.Order.Empty() {
+			continue
+		}
+		covered := -1
+		for i := range outs {
+			if po.Order.Len() > outs[i].Len() && outs[i].PrefixOfUnder(po.Order, result.Equiv) {
+				covered = i
+				break
+			}
+		}
+		if covered < 0 || !emitted.Add(po.Order, result.Equiv) {
+			continue
+		}
+		ip, ipExtra := g.sideInput(inner, pp, ins[covered], result.Equiv)
+		g.emitJoin(result, memo.OpMGJN, po, ip,
+			g.cfg.MGJNCost(po.Cost, po.Card, ip.Cost+ipExtra, ip.Card, result.Card),
+			g.propagateOrder(po, result), pp)
+	}
+}
+
+// sideInput returns a merge-join input delivering the required order on
+// partition pp: a naturally ordered co-located plan if one exists, else the
+// cheapest suitable plan plus enforcer (sort, and repartition when not
+// co-located) costs.
+func (g *Generator) sideInput(e *memo.Entry, pp props.Partition, required props.Order, eq *query.Equiv) (*memo.Plan, float64) {
+	if g.parallel && !pp.Empty() {
+		if p := e.BestWithPartition(pp, eq); p != nil {
+			if required.PrefixOfUnder(p.Order, eq) {
+				return p, 0
+			}
+			return p, g.cfg.SortCost(p.Card) * sortWidthFactor(required)
+		}
+		best := e.Best()
+		return best, g.cfg.RepartitionCost(best.Card) + g.cfg.SortCost(best.Card)*sortWidthFactor(required)
+	}
+	if p := e.BestWithOrder(required, eq); p != nil {
+		return p, 0
+	}
+	best := e.Best()
+	return best, g.cfg.SortCost(best.Card) * sortWidthFactor(required)
+}
+
+// genHSJN generates the single hash-join plan for this orientation on pp:
+// hash joins propagate no order (Table 2), so exactly one plan per
+// enumerated join arises — the "exactly twice the number of joins" baseline
+// of Figure 5(c).
+func (g *Generator) genHSJN(outer, inner, result *memo.Entry, pp props.Partition) {
+	defer g.timeMethod(props.HSJN)()
+	op, opExtra := g.dcInput(outer, pp, result.Equiv)
+	ip, ipExtra := g.dcInput(inner, pp, result.Equiv)
+	g.emitJoin(result, memo.OpHSJN, op, ip,
+		g.cfg.HSJNCost(op.Cost+opExtra, op.Card, ip.Cost+ipExtra, ip.Card, result.Card),
+		props.Order{}, pp)
+}
+
+// dcInput returns the cheapest input co-located on pp, or the cheapest
+// overall plus repartition cost.
+func (g *Generator) dcInput(e *memo.Entry, pp props.Partition, eq *query.Equiv) (*memo.Plan, float64) {
+	if g.parallel && !pp.Empty() {
+		if p := e.BestWithPartition(pp, eq); p != nil {
+			return p, 0
+		}
+	}
+	best := e.Best()
+	extra := 0.0
+	if g.parallel {
+		extra = g.cfg.RepartitionCost(best.Card)
+	}
+	return best, extra
+}
+
+// propagateOrder returns the order a join output inherits from its outer
+// input: the outer's order while it is still interesting at the result,
+// don't-care once retired. In parallel mode a retired order whose plan
+// remains distinct through its partition is conservatively kept and only
+// marked — the compound-property behaviour that makes the paper's
+// separate-list estimates slightly low.
+func (g *Generator) propagateOrder(po *memo.Plan, result *memo.Entry) props.Order {
+	if po.Order.Empty() {
+		return props.Order{}
+	}
+	if g.sc.OrderUseful(po.Order, result.Tables, result.Equiv) {
+		return po.Order
+	}
+	if g.parallel && !po.Part.Empty() {
+		return po.Order // kept conservatively; marked by emitJoin
+	}
+	return props.Order{}
+}
+
+// retireOrDeliver returns o if still interesting at the result, else DC.
+func (g *Generator) retireOrDeliver(o props.Order, result *memo.Entry) props.Order {
+	if g.sc.OrderUseful(o, result.Tables, result.Equiv) {
+		return o
+	}
+	return props.Order{}
+}
+
+// timeMethod attributes the wall time of one join-generation call to the
+// method, excluding the plan-saving time accrued inside it (which Figure 2
+// reports separately).
+func (g *Generator) timeMethod(m props.JoinMethod) func() {
+	t0 := time.Now()
+	save0 := g.Counters.SaveTime
+	return func() {
+		g.Counters.GenTime[m] += time.Since(t0) - (g.Counters.SaveTime - save0)
+	}
+}
+
+// emitJoin finalizes one generated join plan: counts it, applies the pilot
+// bound, and saves it. Pipelineability follows Table 1's rule through the
+// propagation classes: an NLJN streams with its outer; merge and hash joins
+// block (eager sorts and hash builds materialize).
+func (g *Generator) emitJoin(result *memo.Entry, op memo.Operator, left, right *memo.Plan, planCost float64, order props.Order, pp props.Partition) {
+	m := op.JoinMethod()
+	g.Counters.Generated[m]++
+	p := &memo.Plan{
+		Op: op, Left: left, Right: right, Tables: result.Tables,
+		Order: order, Part: pp, Cost: planCost, Card: result.Card,
+		Pipelined: props.PipelinePropagation(m) == props.Full && left != nil && left.Pipelined,
+	}
+	if left != nil && right != nil {
+		p.DeferredExp = left.DeferredExp.Union(right.DeferredExp)
+		// Deferred predicates have not reduced the inputs, so the output
+		// carries proportionally more rows than the entry's (all-applied)
+		// logical cardinality.
+		for t := p.DeferredExp.Next(0); t >= 0; t = p.DeferredExp.Next(t + 1) {
+			if sel, _ := g.sc.ExpensiveSel(t); sel > 0 {
+				p.Card /= sel
+			}
+		}
+	}
+	if !order.Empty() && !g.sc.OrderUseful(order, result.Tables, result.Equiv) {
+		p.OrderKnownRetired = true
+	}
+	// The pilot bound never prunes an entry's only plan: the dynamic
+	// program needs at least one plan per entry to proceed (the paper's
+	// pilot-pass discussion assumes most partial plans stay under the full
+	// plan's cost, but intermediate entries off the final plan can exceed
+	// it wholesale). A plan that ordinary property-aware pruning would have
+	// discarded anyway is not charged to the pilot pass — the paper's <=10%
+	// figure counts the plans the bound removes on top of normal pruning.
+	if g.bound > 0 && planCost > g.bound && len(result.Plans) > 0 {
+		if !g.mem.Dominated(result, p) {
+			g.Counters.PilotPruned++
+		}
+		return
+	}
+	saveStart := time.Now()
+	g.mem.InsertPlan(result, p)
+	g.Counters.SaveTime += time.Since(saveStart)
+}
+
+// savePlan inserts a non-join plan with save-time accounting.
+func (g *Generator) savePlan(e *memo.Entry, p *memo.Plan) {
+	start := time.Now()
+	g.mem.InsertPlan(e, p)
+	g.Counters.SaveTime += time.Since(start)
+}
+
+// completeEntry runs the parallel eager enforcement pass once an entry is
+// final: every interesting order is materialized on every partition present
+// among the entry's plans, generating the (order, partition) combinations
+// that real parallel optimization explores and the estimator's separate
+// lists deliberately do not enumerate.
+func (g *Generator) completeEntry(e *memo.Entry) {
+	if !g.parallel || e.Tables.Len() < 2 || g.policy != props.Eager {
+		return
+	}
+	start := time.Now()
+	// Distinct partitions present.
+	var parts props.PartitionList
+	hasDC := false
+	for _, p := range e.Plans {
+		if p.Part.Empty() {
+			hasDC = true
+			continue
+		}
+		parts.Add(p.Part, e.Equiv)
+	}
+	// Interesting orders present on some plan (origin of orders stays at
+	// the base tables; this pass only spreads them across partitions).
+	var orders props.OrderList
+	for _, p := range e.Plans {
+		if !p.Order.Empty() && !p.OrderKnownRetired {
+			orders.Add(p.Order, e.Equiv)
+		}
+	}
+	candidates := parts.Partitions()
+	if hasDC {
+		candidates = append(candidates, props.Partition{})
+	}
+	for _, pp := range candidates {
+		src := e.BestWithPartition(pp, e.Equiv)
+		if src == nil {
+			continue
+		}
+		for _, o := range orders.Orders() {
+			already := false
+			for _, p := range e.Plans {
+				if p.Part.EqualUnder(pp, e.Equiv) && o.PrefixOfUnder(p.Order, e.Equiv) {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			g.Counters.EnforcerPlans++
+			g.savePlan(e, &memo.Plan{
+				Op: memo.OpSort, Left: src, Tables: e.Tables,
+				Order: o, Part: pp,
+				Cost: src.Cost + g.cfg.SortCost(src.Card)*sortWidthFactor(o),
+				Card: src.Card,
+			})
+		}
+	}
+	g.Counters.AccessTime += time.Since(start)
+}

@@ -1,0 +1,219 @@
+package plangen
+
+import (
+	"testing"
+
+	"cote/internal/bitset"
+	"cote/internal/catalog"
+	"cote/internal/cost"
+	"cote/internal/enum"
+	"cote/internal/memo"
+	"cote/internal/props"
+	"cote/internal/query"
+)
+
+// fixture builds a 3-table chain a-b-c with an ORDER BY, optionally
+// partitioned, and runs plan generation, returning the memo and counters.
+func fixture(t *testing.T, nodes int, level enum.Options) (*query.Block, *memo.Memo, *Generator) {
+	t.Helper()
+	cb := catalog.NewBuilder("pg")
+	a := cb.Table("a", 100_000)
+	a.Column("x", 1_000).Column("m", 500).Index("ix_a", false, "x")
+	if nodes > 1 {
+		a.Partition(nodes, "x")
+	}
+	b := cb.Table("b", 50_000)
+	b.Column("x", 1_000).Column("y", 1_000)
+	if nodes > 1 {
+		b.Partition(nodes, "y")
+	}
+	cb.Table("c", 10_000).Column("y", 1_000)
+	cat := cb.Build()
+
+	qb := query.NewBuilder("pg", cat)
+	qb.AddTable("a", "")
+	qb.AddTable("b", "")
+	qb.AddTable("c", "")
+	qb.JoinEq("a", "x", "b", "x")
+	qb.JoinEq("b", "y", "c", "y")
+	qb.OrderBy(qb.Col("a", "m"))
+	blk := qb.MustBuild()
+
+	cfg := cost.Serial
+	if nodes > 1 {
+		cfg = cost.Parallel4
+	}
+	card := cost.NewEstimator(blk, cost.Full)
+	sc := props.NewScope(blk)
+	mem := memo.New(blk.NumTables())
+	gen := New(blk, sc, mem, card, Options{Config: cfg})
+	if _, err := enum.New(blk, mem, card, level).Run(gen.Hooks()); err != nil {
+		t.Fatal(err)
+	}
+	return blk, mem, gen
+}
+
+func TestBaseEntryPlans(t *testing.T) {
+	blk, mem, gen := fixture(t, 1, enum.Options{})
+	ea := mem.Entry(bitset.Of(0))
+	// Table a: scan (DC) + plans for interesting orders (a.x join col via
+	// index, a.m via eager sort).
+	if len(ea.Plans) != 3 {
+		t.Fatalf("entry a has %d plans: %v", len(ea.Plans), ea.Plans)
+	}
+	ax, am := blk.Tables[0].FirstCol, blk.Tables[0].FirstCol+1
+	if ea.BestWithOrder(props.OrderOn(ax), ea.Equiv) == nil {
+		t.Fatal("no plan ordered on the join column")
+	}
+	if ea.BestWithOrder(props.OrderOn(am), ea.Equiv) == nil {
+		t.Fatal("no plan ordered on the ORDER BY column")
+	}
+	if gen.Counters.AccessPlans == 0 || gen.Counters.EnforcerPlans == 0 {
+		t.Fatalf("counters: %+v", gen.Counters)
+	}
+}
+
+func TestJoinPlanGenerationCounts(t *testing.T) {
+	_, mem, gen := fixture(t, 1, enum.Options{})
+	// Chain of 3: pairs (a,b), (b,c), (ab,c), (a,bc) = 4, each both ways.
+	if got := gen.Counters.Generated[props.HSJN]; got != 8 {
+		t.Fatalf("HSJN generated = %d, want 8 (one per ordered join)", got)
+	}
+	if gen.Counters.Generated[props.NLJN] < 8 || gen.Counters.Generated[props.MGJN] < 8 {
+		t.Fatalf("join counts too low: %+v", gen.Counters.Generated)
+	}
+	// The final entry holds at least a DC plan and the ORDER BY-ordered
+	// plan.
+	root := mem.Entry(bitset.Of(0, 1, 2))
+	if root == nil || len(root.Plans) < 2 {
+		t.Fatalf("root entry plans: %+v", root)
+	}
+}
+
+func TestOrderRetirementAtJoin(t *testing.T) {
+	blk, mem, _ := fixture(t, 1, enum.Options{})
+	// At {a,b}, the a.x order has retired (predicate applied, no further
+	// use); no surviving plan should carry it as its declared order.
+	eab := mem.Entry(bitset.Of(0, 1))
+	ax := blk.Tables[0].FirstCol
+	for _, p := range eab.Plans {
+		if !p.Order.Empty() && p.Order.Cols[0] == ax && p.Order.Len() == 1 {
+			t.Fatalf("retired order on a.x survived: %v", p)
+		}
+	}
+}
+
+func TestMergeCandidates(t *testing.T) {
+	oc := []query.ColID{1, 2, 3}
+	ic := []query.ColID{11, 12, 13}
+	outs, ins := MergeCandidates(oc, ic)
+	if len(outs) != 4 || len(ins) != 4 {
+		t.Fatalf("candidates = %d, want 3 singles + composite", len(outs))
+	}
+	if outs[3].Len() != 3 || ins[3].Len() != 3 {
+		t.Fatal("composite candidate malformed")
+	}
+	// Single predicate: no composite.
+	outs, _ = MergeCandidates(oc[:1], ic[:1])
+	if len(outs) != 1 {
+		t.Fatalf("single-pred candidates = %d", len(outs))
+	}
+}
+
+func TestParallelPlansCarryPartitions(t *testing.T) {
+	_, mem, gen := fixture(t, 4, enum.Options{})
+	var withPart int
+	for _, e := range mem.Entries() {
+		for _, p := range e.Plans {
+			if !p.Part.Empty() {
+				withPart++
+			}
+		}
+	}
+	if withPart == 0 {
+		t.Fatal("no partitioned plans in parallel mode")
+	}
+	if gen.Counters.EnforcerPlans == 0 {
+		t.Fatal("no enforcers (sorts/repartitions) in parallel mode")
+	}
+}
+
+func TestLazyPolicySkipsEnforcedSorts(t *testing.T) {
+	cb := catalog.NewBuilder("lz")
+	cb.Table("r", 1_000).Column("x", 100)
+	cb.Table("s", 1_000).Column("x", 100)
+	cat := cb.Build()
+	qb := query.NewBuilder("lz", cat)
+	qb.AddTable("r", "")
+	qb.AddTable("s", "")
+	qb.JoinEq("r", "x", "s", "x")
+	blk := qb.MustBuild()
+
+	card := cost.NewEstimator(blk, cost.Full)
+	sc := props.NewScope(blk)
+	mem := memo.New(2)
+	gen := New(blk, sc, mem, card, Options{OrderPolicy: props.Lazy})
+	if _, err := enum.New(blk, mem, card, enum.Options{}).Run(gen.Hooks()); err != nil {
+		t.Fatal(err)
+	}
+	// No indexes, lazy policy: no sort enforcers at base entries.
+	if gen.Counters.EnforcerPlans != 0 {
+		t.Fatalf("lazy policy generated %d enforcers", gen.Counters.EnforcerPlans)
+	}
+}
+
+func TestPilotBoundCounting(t *testing.T) {
+	blk, _, unbounded := fixture(t, 1, enum.Options{})
+	best := 0.0
+	{
+		// Recover the best plan cost from a fresh run for the bound.
+		card := cost.NewEstimator(blk, cost.Full)
+		sc := props.NewScope(blk)
+		mem := memo.New(blk.NumTables())
+		gen := New(blk, sc, mem, card, Options{})
+		if _, err := enum.New(blk, mem, card, enum.Options{}).Run(gen.Hooks()); err != nil {
+			t.Fatal(err)
+		}
+		best = mem.Entry(blk.AllTables()).Best().Cost
+	}
+	card := cost.NewEstimator(blk, cost.Full)
+	sc := props.NewScope(blk)
+	mem := memo.New(blk.NumTables())
+	gen := New(blk, sc, mem, card, Options{PilotBound: best})
+	if _, err := enum.New(blk, mem, card, enum.Options{}).Run(gen.Hooks()); err != nil {
+		t.Fatal(err)
+	}
+	// The bound can only shrink the search (bound-pruned plans at lower
+	// entries stop feeding joins above them).
+	if g, u := gen.Counters.TotalGenerated(), unbounded.Counters.TotalGenerated(); g > u || g < u/2 {
+		t.Fatalf("generated %d with bound vs %d without", g, u)
+	}
+	// The optimal plan survives the bound.
+	if got := mem.Entry(blk.AllTables()).Best().Cost; got > best*1.0001 {
+		t.Fatalf("bounded best %v worse than unbounded %v", got, best)
+	}
+}
+
+func TestTimingCountersPopulated(t *testing.T) {
+	_, _, gen := fixture(t, 1, enum.Options{})
+	c := gen.Counters
+	for m := props.JoinMethod(0); m < props.NumJoinMethods; m++ {
+		if c.GenTime[m] <= 0 {
+			t.Fatalf("no generation time recorded for %v", m)
+		}
+	}
+	if c.SaveTime <= 0 || c.AccessTime <= 0 {
+		t.Fatalf("timing counters missing: %+v", c)
+	}
+}
+
+func TestSortWidthFactor(t *testing.T) {
+	narrow := sortWidthFactor(props.OrderOn(1))
+	wide := sortWidthFactor(props.OrderOn(1, 2, 3))
+	if narrow >= wide {
+		t.Fatal("wider sort keys should cost more")
+	}
+	if narrow != 1 {
+		t.Fatalf("single-column factor = %v, want 1", narrow)
+	}
+}

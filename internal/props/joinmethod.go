@@ -1,0 +1,80 @@
+package props
+
+// JoinMethod identifies one of the three join implementations of the
+// reproduced optimizer.
+type JoinMethod int
+
+// The join methods, in the order the paper discusses them.
+const (
+	NLJN JoinMethod = iota // nested-loops join
+	MGJN                   // sort-merge join
+	HSJN                   // hash join
+	NumJoinMethods
+)
+
+// String names the method using the paper's abbreviations.
+func (m JoinMethod) String() string {
+	switch m {
+	case NLJN:
+		return "NLJN"
+	case MGJN:
+		return "MGJN"
+	case HSJN:
+		return "HSJN"
+	}
+	return "JOIN?"
+}
+
+// Propagation classifies how a join method carries a physical property from
+// its inputs to its output (Table 2 of the paper).
+type Propagation int
+
+// Propagation classes.
+const (
+	// Full: every interesting property value of the (outer) input survives
+	// the join.
+	Full Propagation = iota
+	// Partial: only property values tied to this join's columns survive.
+	Partial
+	// None: the join destroys the property.
+	None
+)
+
+// String names the propagation class.
+func (p Propagation) String() string {
+	switch p {
+	case Full:
+		return "full"
+	case Partial:
+		return "partial"
+	case None:
+		return "none"
+	}
+	return "propagation?"
+}
+
+// OrderPropagation returns how the method propagates the order property:
+// NLJN preserves its outer's order (full), MGJN emits only orders on this
+// join's columns (partial), and HSJN destroys order (none). This is row one
+// of the paper's Table 2.
+func (m JoinMethod) OrderPropagation() Propagation {
+	switch m {
+	case NLJN:
+		return Full
+	case MGJN:
+		return Partial
+	default:
+		return None
+	}
+}
+
+// PartitionPropagation returns how the method propagates the partition
+// property. In a shared-nothing system every join runs co-located, so the
+// output keeps the input distribution regardless of method: full for all
+// three (row two of Table 2).
+func (m JoinMethod) PartitionPropagation() Propagation { return Full }
+
+// RequiresEquality reports whether the method can only evaluate equality
+// join predicates. Nested-loops joins also handle inequality and Cartesian
+// joins.
+func (m JoinMethod) RequiresEquality() bool { return m != NLJN }

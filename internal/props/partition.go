@@ -1,0 +1,169 @@
+package props
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"cote/internal/query"
+)
+
+// Partition is a hash-partitioning of rows across the nodes of a
+// shared-nothing system, identified by its set of partitioning key columns.
+// Column sequence is irrelevant for hash partitioning, so all comparisons
+// use set semantics. The zero value (no columns) is the don't-care
+// (random/round-robin) distribution.
+type Partition struct {
+	Cols  []query.ColID
+	Nodes int
+}
+
+// PartitionOn builds a hash partition on the given key columns.
+func PartitionOn(nodes int, cols ...query.ColID) Partition {
+	return Partition{Cols: cols, Nodes: nodes}
+}
+
+// Empty reports whether the partition is the don't-care distribution.
+func (p Partition) Empty() bool { return len(p.Cols) == 0 }
+
+// EqualUnder reports whether p and q hash on the same key set modulo
+// equivalence. Node counts must match; two distributions over different
+// node sets are never interchangeable.
+func (p Partition) EqualUnder(q Partition, eq *query.Equiv) bool {
+	if p.Nodes != q.Nodes || len(p.Cols) != len(q.Cols) {
+		return false
+	}
+	return p.SubsetOfUnder(q, eq) && q.SubsetOfUnder(p, eq)
+}
+
+// SubsetOfUnder reports whether every key column of p has an equivalent in
+// q's key set.
+func (p Partition) SubsetOfUnder(q Partition, eq *query.Equiv) bool {
+	for _, c := range p.Cols {
+		found := false
+		for _, d := range q.Cols {
+			if eq.Same(c, d) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversJoinCols reports whether every partitioning key of p is equivalent
+// to one of the given join columns — the condition for a join input to be
+// already co-located on this partition (no repartition needed).
+func (p Partition) CoversJoinCols(joinCols []query.ColID, eq *query.Equiv) bool {
+	if p.Empty() {
+		return false
+	}
+	for _, c := range p.Cols {
+		found := false
+		for _, j := range joinCols {
+			if eq.Same(c, j) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical dedup key under the given equivalence. Keys of
+// set-equal partitions are equal because representatives are sorted.
+func (p Partition) Key(eq *query.Equiv) string {
+	if p.Empty() {
+		return "-"
+	}
+	reps := make([]int, len(p.Cols))
+	for i, c := range p.Cols {
+		reps[i] = int(eq.Rep(c))
+	}
+	sort.Ints(reps)
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(p.Nodes))
+	b.WriteByte('@')
+	for i, r := range reps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(r))
+	}
+	return b.String()
+}
+
+// String renders the partition for diagnostics.
+func (p Partition) String() string {
+	if p.Empty() {
+		return "DC"
+	}
+	var b strings.Builder
+	b.WriteString("hash[")
+	for i, c := range p.Cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(c)))
+	}
+	b.WriteString("]x")
+	b.WriteString(strconv.Itoa(p.Nodes))
+	return b.String()
+}
+
+// PartitionList is a deduplicated list of interesting partitions attached to
+// a MEMO entry; the parallel-version counterpart of OrderList.
+type PartitionList struct {
+	parts []Partition
+}
+
+// Partitions exposes the underlying slice; callers must not mutate it.
+func (l *PartitionList) Partitions() []Partition { return l.parts }
+
+// Len returns the number of partitions in the list.
+func (l *PartitionList) Len() int { return len(l.parts) }
+
+// Add inserts p unless an equivalent partition is already present. It
+// reports whether the partition was inserted.
+func (l *PartitionList) Add(p Partition, eq *query.Equiv) bool {
+	if p.Empty() {
+		return false
+	}
+	for _, have := range l.parts {
+		if have.EqualUnder(p, eq) {
+			return false
+		}
+	}
+	l.parts = append(l.parts, p)
+	return true
+}
+
+// Contains reports whether a partition equivalent to p is in the list.
+func (l *PartitionList) Contains(p Partition, eq *query.Equiv) bool {
+	for _, have := range l.parts {
+		if have.EqualUnder(p, eq) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyCoversJoinCols reports whether any partition in the list is already
+// keyed on (a subset of) the given join columns. When false for both join
+// inputs, the optimizer's repartition heuristic fires and new partitions on
+// the join columns are created — the subtlety reported in the paper's DB2
+// implementation experience (Section 4).
+func (l *PartitionList) AnyCoversJoinCols(joinCols []query.ColID, eq *query.Equiv) bool {
+	for _, p := range l.parts {
+		if p.CoversJoinCols(joinCols, eq) {
+			return true
+		}
+	}
+	return false
+}

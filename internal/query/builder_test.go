@@ -1,0 +1,161 @@
+package query
+
+import (
+	"testing"
+
+	"cote/internal/catalog"
+)
+
+func builderCatalog() *catalog.Catalog {
+	b := catalog.NewBuilder("bt")
+	b.Table("r", 1000).Column("a", 100).Column("b", 50)
+	b.Table("s", 500).Column("a", 100).Column("c", 25)
+	return b.Build()
+}
+
+func TestBuilderHelperAccessors(t *testing.T) {
+	qb := NewBuilder("h", builderCatalog())
+	qb.AddTable("r", "")
+	qb.AddTable("s", "alias_s")
+
+	if got := qb.Aliases(); len(got) != 2 || got[0] != "r" || got[1] != "alias_s" {
+		t.Fatalf("Aliases = %v", got)
+	}
+	if !qb.HasColumn("r", "a") || qb.HasColumn("r", "c") || qb.HasColumn("zzz", "a") {
+		t.Fatal("HasColumn wrong")
+	}
+	id := qb.ColByTableIndex(1, 1)
+	if id == NoCol {
+		t.Fatal("ColByTableIndex failed")
+	}
+	if qb.TableIndexOf(id) != 1 {
+		t.Fatalf("TableIndexOf = %d", qb.TableIndexOf(id))
+	}
+	if qb.TableIndexOf(NoCol) != -1 || qb.TableIndexOf(ColID(999)) != -1 {
+		t.Fatal("TableIndexOf out-of-range handling wrong")
+	}
+	if qb.Err() != nil {
+		t.Fatalf("unexpected error: %v", qb.Err())
+	}
+}
+
+func TestBuilderClauseMethods(t *testing.T) {
+	qb := NewBuilder("c", builderCatalog())
+	qb.AddTable("r", "")
+	qb.AddTable("s", "")
+	qb.JoinEq("r", "a", "s", "a")
+	qb.FilterEq("r", "b")
+	qb.ExpensiveFilter(qb.Col("s", "c"), 0.1)
+	qb.GroupBy(qb.Col("r", "b"))
+	qb.OrderBy(qb.Col("s", "c"))
+	qb.Aggregates(2)
+	qb.FetchFirst(7)
+	blk := qb.MustBuild()
+
+	// Transitive closure may add implied locals; count explicit ones.
+	explicit := 0
+	expensive := 0
+	for _, lp := range blk.LocalPreds {
+		if !lp.Implied {
+			explicit++
+		}
+		if lp.Expensive {
+			expensive++
+		}
+	}
+	if explicit != 2 || expensive != 1 {
+		t.Fatalf("locals = %d explicit, %d expensive", explicit, expensive)
+	}
+	if len(blk.GroupBy) != 1 || len(blk.OrderBy) != 1 || blk.NumAggs != 2 || blk.FirstN != 7 {
+		t.Fatalf("clauses wrong: %+v", blk)
+	}
+}
+
+func TestBuilderClauseErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(qb *Builder)
+	}{
+		{"groupby unresolved", func(qb *Builder) { qb.GroupBy(NoCol) }},
+		{"orderby unresolved", func(qb *Builder) { qb.OrderBy(NoCol) }},
+		{"select unresolved", func(qb *Builder) { qb.SelectCols(NoCol) }},
+		{"expensive unresolved", func(qb *Builder) { qb.ExpensiveFilter(NoCol, 0.5) }},
+		{"negative aggregates", func(qb *Builder) { qb.Aggregates(-1) }},
+		{"negative fetch first", func(qb *Builder) { qb.FetchFirst(-1) }},
+		{"bad table index", func(qb *Builder) { qb.ColByTableIndex(7, 0) }},
+		{"bad ordinal", func(qb *Builder) { qb.ColByTableIndex(0, 99) }},
+		{"derived no alias", func(qb *Builder) {
+			child := NewBuilder("ch", builderCatalog())
+			child.AddTable("s", "")
+			qb.AddDerived(child.MustBuild(), "", false)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			qb := NewBuilder("e", builderCatalog())
+			qb.AddTable("r", "")
+			tc.run(qb)
+			if _, err := qb.Build(); err == nil {
+				t.Fatalf("%s: Build succeeded", tc.name)
+			}
+			// After an error, further calls are no-ops and Err is sticky.
+			if qb.Err() == nil {
+				t.Fatal("Err not sticky")
+			}
+			if qb.AddTable("s", "") != -1 {
+				t.Fatal("AddTable after error did not no-op")
+			}
+		})
+	}
+}
+
+func TestBuilderAfterErrorAccessorsSafe(t *testing.T) {
+	qb := NewBuilder("x", builderCatalog())
+	qb.AddTable("r", "")
+	qb.GroupBy(NoCol) // poison
+	if qb.Col("r", "a") != NoCol {
+		t.Fatal("Col after error did not return NoCol")
+	}
+	if qb.ColByTableIndex(0, 0) != NoCol {
+		t.Fatal("ColByTableIndex after error did not return NoCol")
+	}
+	if qb.Filter(ColID(0), Eq, 0.5).Err() == nil {
+		t.Fatal("error lost")
+	}
+}
+
+func TestPredOpStrings(t *testing.T) {
+	want := map[PredOp]string{Eq: "=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Ne: "<>"}
+	for op, w := range want {
+		if op.String() != w {
+			t.Fatalf("%d.String() = %q, want %q", op, op.String(), w)
+		}
+	}
+	if PredOp(99).String() == "" {
+		t.Fatal("unknown op has empty name")
+	}
+}
+
+func TestBaseRowsVariants(t *testing.T) {
+	cat := builderCatalog()
+	qb := NewBuilder("br", cat)
+	qb.AddTable("r", "")
+	child := NewBuilder("ch", cat)
+	child.AddTable("s", "")
+	child.SelectCols(child.Col("s", "a"))
+	dt := qb.AddDerived(child.MustBuild(), "v", false)
+	qb.Join(qb.Col("r", "a"), qb.ColByTableIndex(dt, 0), Eq)
+	blk := qb.MustBuild()
+
+	if got := blk.Tables[0].BaseRows(); got != 1000 {
+		t.Fatalf("base table rows = %v", got)
+	}
+	// Derived without override: defensive 1.
+	if got := blk.Tables[1].BaseRows(); got != 1 {
+		t.Fatalf("derived default rows = %v", got)
+	}
+	blk.Tables[1].CardOverride = 321
+	if got := blk.Tables[1].BaseRows(); got != 321 {
+		t.Fatalf("override rows = %v", got)
+	}
+}

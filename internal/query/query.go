@@ -1,0 +1,505 @@
+// Package query models a parsed and normalized query block: table
+// references, local and join predicates, outer-join constraints, GROUP BY /
+// ORDER BY column lists, and nested blocks for views and subqueries.
+//
+// The model captures exactly the features the paper identifies as drivers of
+// optimizer compilation time: the join graph (including cycles introduced by
+// implied predicates computed through transitive closure), the predicates
+// that give rise to interesting order properties, grouping/ordering columns,
+// and the outer-join / correlation restrictions that make some table sets
+// ineligible to serve as the outer of a join.
+package query
+
+import (
+	"fmt"
+
+	"cote/internal/bitset"
+	"cote/internal/catalog"
+)
+
+// ColID identifies a column instance within one query block. Two references
+// to the same catalog column through different table aliases get different
+// ColIDs, because they participate independently in the join graph.
+type ColID int32
+
+// NoCol is the invalid ColID.
+const NoCol ColID = -1
+
+// PredOp is the comparison operator of a predicate.
+type PredOp int
+
+// Predicate operators. Only Eq join predicates can be evaluated by
+// sort-merge and hash joins and only they produce interesting orders and
+// feed the equivalence closure; the others still connect the join graph and
+// are evaluated by nested-loops joins.
+const (
+	Eq PredOp = iota
+	Lt
+	Le
+	Gt
+	Ge
+	Ne
+)
+
+// String returns the SQL spelling of the operator.
+func (op PredOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Ne:
+		return "<>"
+	}
+	return fmt.Sprintf("PredOp(%d)", int(op))
+}
+
+// TableRef is one entry in the FROM list: a base table or a derived table
+// (view or subquery) under an alias.
+type TableRef struct {
+	// Index is the position of this reference in Block.Tables and its bit
+	// position in table sets.
+	Index int
+	// Table is the base table, or nil for a derived table.
+	Table *catalog.Table
+	// Derived is the child block producing this table, or nil for a base
+	// table.
+	Derived *Block
+	// Alias is the name the reference goes by in this block.
+	Alias string
+	// FirstCol is the ColID of the reference's first column; columns are
+	// contiguous.
+	FirstCol ColID
+	// NumCols is the number of columns exposed by the reference.
+	NumCols int
+	// Correlated marks a derived table whose block references columns of
+	// this block (a correlated subquery). Correlated derived tables cannot
+	// serve as the outer of a join.
+	Correlated bool
+	// CardOverride, when > 0, is the output cardinality the optimizer
+	// computed for a derived table. Zero for base tables.
+	CardOverride float64
+}
+
+// IsDerived reports whether the reference is a view or subquery.
+func (t *TableRef) IsDerived() bool { return t.Derived != nil }
+
+// BaseRows returns the unfiltered row count of the reference.
+func (t *TableRef) BaseRows() float64 {
+	if t.CardOverride > 0 {
+		return t.CardOverride
+	}
+	if t.Table != nil {
+		return t.Table.RowCount
+	}
+	return 1
+}
+
+// ColumnRef is one column instance of the block.
+type ColumnRef struct {
+	ID  ColID
+	Ref *TableRef
+	// Col carries the name and NDV. For derived tables it is a synthetic
+	// column not owned by any catalog table.
+	Col *catalog.Column
+}
+
+// String renders the column as "alias.name".
+func (c *ColumnRef) String() string { return c.Ref.Alias + "." + c.Col.Name }
+
+// JoinPred is a predicate relating columns of two different table
+// references.
+type JoinPred struct {
+	Left, Right ColID
+	Op          PredOp
+	// Implied marks predicates derived through the transitive closure of
+	// equality predicates rather than written by the user. Implied
+	// predicates create cycles in otherwise acyclic join graphs — the paper
+	// cites them as a reason join counting is hard in real systems.
+	Implied bool
+}
+
+// LocalPred is a single-table predicate (column op constant).
+type LocalPred struct {
+	Col ColID
+	Op  PredOp
+	// Selectivity is the fraction of rows satisfying the predicate. For Eq
+	// it defaults to 1/NDV at Finalize time if left zero.
+	Selectivity float64
+	// Implied marks predicates propagated across equality classes (a = b
+	// and a = 5 implies b = 5).
+	Implied bool
+	// Expensive marks a user-defined expensive predicate, which (per Table 1
+	// of the paper) is itself a physical property: plans differ by which
+	// subset of expensive predicates they have already applied.
+	Expensive bool
+}
+
+// OuterJoin records a left outer join: all tables of Preserving are
+// preserved, the single null-producing table is NullProducing, and PredReq
+// is the set of preserving-side tables referenced by the ON predicate. The
+// reproduced optimizer supports free reordering only — the null-producing
+// table may join only with sets that already contain PredReq, and a set
+// containing a not-yet-applied null-producing table cannot be an outer.
+type OuterJoin struct {
+	NullProducing int
+	PredReq       bitset.Set
+}
+
+// Block is one query block (a SELECT). Nested blocks appear as derived
+// TableRefs; they are optimized independently, bottom-up, exactly as the
+// paper's multi-block extension describes.
+type Block struct {
+	Name    string
+	Catalog *catalog.Catalog
+
+	Tables  []*TableRef
+	Columns []*ColumnRef
+
+	LocalPreds []LocalPred
+	JoinPreds  []JoinPred
+	OuterJoins []OuterJoin
+
+	GroupBy []ColID
+	OrderBy []ColID
+	Select  []ColID
+	// NumAggs is the number of aggregate functions in the select list; it
+	// contributes to the (cheap, easily estimated) non-join plan count.
+	NumAggs int
+	// FirstN, when positive, asks for only the first N rows (FETCH FIRST N
+	// ROWS ONLY). It makes pipelineability an interesting physical property
+	// (Table 1 of the paper): a plan that streams its first rows without
+	// SORTs, hash-join builds or TEMPs can stop early.
+	FirstN int
+
+	finalized bool
+	// adjacency[i] = set of table indexes joined to table i by some predicate
+	adjacency []bitset.Set
+	// predsByPair caches predicate indexes keyed by unordered table pair.
+	predsByPair map[[2]int][]int
+	// predTabs caches the (left table, right table) of each join predicate;
+	// per-entry equivalence building touches every predicate for every MEMO
+	// entry, making this the hottest lookup of plan-estimate mode.
+	predTabs [][2]int
+}
+
+// NumTables returns the number of table references in the block.
+func (b *Block) NumTables() int { return len(b.Tables) }
+
+// AllTables returns the set of all table indexes in the block.
+func (b *Block) AllTables() bitset.Set { return bitset.Full(len(b.Tables)) }
+
+// Column returns the column reference for id. It panics on out-of-range
+// ids, which indicate corrupted construction rather than bad user input.
+func (b *Block) Column(id ColID) *ColumnRef {
+	if id < 0 || int(id) >= len(b.Columns) {
+		panic(fmt.Sprintf("query: ColID %d out of range [0,%d)", id, len(b.Columns)))
+	}
+	return b.Columns[id]
+}
+
+// TableOf returns the table index owning column id.
+func (b *Block) TableOf(id ColID) int { return b.Column(id).Ref.Index }
+
+// ColSet maps a column list to the set of owning tables.
+func (b *Block) ColSet(cols []ColID) bitset.Set {
+	var s bitset.Set
+	for _, c := range cols {
+		s = s.Add(b.TableOf(c))
+	}
+	return s
+}
+
+// Blocks returns the block and all nested blocks, children first (the order
+// in which the optimizer must process them).
+func (b *Block) Blocks() []*Block {
+	var out []*Block
+	var walk func(blk *Block)
+	walk = func(blk *Block) {
+		for _, t := range blk.Tables {
+			if t.Derived != nil {
+				walk(t.Derived)
+			}
+		}
+		out = append(out, blk)
+	}
+	walk(b)
+	return out
+}
+
+// Finalize validates the block, defaults predicate selectivities, computes
+// the transitive closure of equality predicates (adding implied join and
+// local predicates), and builds the join-graph adjacency caches. It must be
+// called exactly once, after construction and before optimization; nested
+// blocks are finalized recursively.
+func (b *Block) Finalize() error {
+	if b.finalized {
+		return fmt.Errorf("query %q: already finalized", b.Name)
+	}
+	if len(b.Tables) == 0 {
+		return fmt.Errorf("query %q: no tables", b.Name)
+	}
+	if len(b.Tables) > bitset.MaxElems {
+		return fmt.Errorf("query %q: %d tables exceeds the per-block limit of %d",
+			b.Name, len(b.Tables), bitset.MaxElems)
+	}
+	for i, t := range b.Tables {
+		if t.Index != i {
+			return fmt.Errorf("query %q: table %q has index %d at position %d", b.Name, t.Alias, t.Index, i)
+		}
+		if t.Derived != nil && !t.Derived.finalized {
+			if err := t.Derived.Finalize(); err != nil {
+				return err
+			}
+		}
+	}
+	for i, p := range b.JoinPreds {
+		lt, rt := b.TableOf(p.Left), b.TableOf(p.Right)
+		if lt == rt {
+			return fmt.Errorf("query %q: join predicate %d relates columns of the same table %q",
+				b.Name, i, b.Tables[lt].Alias)
+		}
+	}
+	for _, oj := range b.OuterJoins {
+		if oj.NullProducing < 0 || oj.NullProducing >= len(b.Tables) {
+			return fmt.Errorf("query %q: outer join null-producing table %d out of range", b.Name, oj.NullProducing)
+		}
+		if oj.PredReq.Contains(oj.NullProducing) {
+			return fmt.Errorf("query %q: outer join %d requires its own null-producing table", b.Name, oj.NullProducing)
+		}
+	}
+
+	b.defaultSelectivities()
+	b.transitiveClosure()
+	b.buildAdjacency()
+	b.finalized = true
+	return nil
+}
+
+// defaultSelectivities fills zero selectivities with 1/NDV for equality and
+// 1/3 for range predicates (the System R defaults).
+func (b *Block) defaultSelectivities() {
+	for i := range b.LocalPreds {
+		p := &b.LocalPreds[i]
+		if p.Selectivity > 0 {
+			continue
+		}
+		switch p.Op {
+		case Eq:
+			ndv := b.Column(p.Col).Col.NDV
+			if ndv < 1 {
+				ndv = 1
+			}
+			p.Selectivity = 1 / ndv
+		case Ne:
+			p.Selectivity = 0.9
+		default:
+			p.Selectivity = 1.0 / 3
+		}
+		if p.Selectivity > 1 {
+			p.Selectivity = 1
+		}
+	}
+}
+
+// transitiveClosure computes equality equivalence classes over join
+// predicates and adds (a) implied equality join predicates between every
+// pair of class members on different tables, and (b) implied local equality
+// predicates for classes containing a constant equality predicate. This is
+// the behaviour of commercial optimizers that the paper points to as a
+// source of cycles in real join graphs.
+func (b *Block) transitiveClosure() {
+	uf := newUnionFind(len(b.Columns))
+	for _, p := range b.JoinPreds {
+		if p.Op == Eq {
+			uf.union(int(p.Left), int(p.Right))
+		}
+	}
+
+	// Existing equality edges, keyed canonically.
+	type edge struct{ a, b ColID }
+	have := map[edge]bool{}
+	canon := func(x, y ColID) edge {
+		if x > y {
+			x, y = y, x
+		}
+		return edge{x, y}
+	}
+	for _, p := range b.JoinPreds {
+		if p.Op == Eq {
+			have[canon(p.Left, p.Right)] = true
+		}
+	}
+
+	// Group columns by equivalence class root; singleton classes carry no
+	// implied predicates.
+	classes := map[int][]ColID{}
+	for id := range b.Columns {
+		root := uf.find(id)
+		classes[root] = append(classes[root], ColID(id))
+	}
+	for root, members := range classes {
+		if len(members) < 2 {
+			delete(classes, root)
+		}
+	}
+
+	for _, members := range classes {
+		// Implied join predicates between all cross-table pairs.
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				l, r := members[i], members[j]
+				if b.TableOf(l) == b.TableOf(r) {
+					continue
+				}
+				if have[canon(l, r)] {
+					continue
+				}
+				have[canon(l, r)] = true
+				b.JoinPreds = append(b.JoinPreds, JoinPred{Left: l, Right: r, Op: Eq, Implied: true})
+			}
+		}
+		// Implied local equality predicates: a = const propagates to every
+		// class member that lacks one.
+		var src *LocalPred
+		withEq := map[ColID]bool{}
+		for i := range b.LocalPreds {
+			lp := &b.LocalPreds[i]
+			if lp.Op != Eq {
+				continue
+			}
+			for _, m := range members {
+				if lp.Col == m {
+					withEq[m] = true
+					if src == nil {
+						src = lp
+					}
+				}
+			}
+		}
+		if src != nil {
+			for _, m := range members {
+				if !withEq[m] {
+					b.LocalPreds = append(b.LocalPreds, LocalPred{
+						Col: m, Op: Eq, Selectivity: src.Selectivity, Implied: true,
+					})
+				}
+			}
+		}
+	}
+}
+
+func (b *Block) buildAdjacency() {
+	b.adjacency = make([]bitset.Set, len(b.Tables))
+	b.predsByPair = make(map[[2]int][]int)
+	b.predTabs = make([][2]int, len(b.JoinPreds))
+	for i, p := range b.JoinPreds {
+		lt, rt := b.TableOf(p.Left), b.TableOf(p.Right)
+		b.predTabs[i] = [2]int{lt, rt}
+		b.adjacency[lt] = b.adjacency[lt].Add(rt)
+		b.adjacency[rt] = b.adjacency[rt].Add(lt)
+		key := pairKey(lt, rt)
+		b.predsByPair[key] = append(b.predsByPair[key], i)
+	}
+}
+
+func pairKey(a, c int) [2]int {
+	if a > c {
+		a, c = c, a
+	}
+	return [2]int{a, c}
+}
+
+// Neighbors returns the tables adjacent (via any join predicate) to any
+// table in s, excluding s itself. Finalize must have run.
+func (b *Block) Neighbors(s bitset.Set) bitset.Set {
+	var out bitset.Set
+	for i := s.Next(0); i >= 0; i = s.Next(i + 1) {
+		out = out.Union(b.adjacency[i])
+	}
+	return out.Diff(s)
+}
+
+// Connects reports whether at least one join predicate links table set s
+// with table set l.
+func (b *Block) Connects(s, l bitset.Set) bool {
+	return b.Neighbors(s).Overlaps(l)
+}
+
+// PredsBetween returns the indexes (into JoinPreds) of all predicates with
+// one column in s and the other in l.
+func (b *Block) PredsBetween(s, l bitset.Set) []int {
+	var out []int
+	for i := s.Next(0); i >= 0; i = s.Next(i + 1) {
+		for j := l.Next(0); j >= 0; j = l.Next(j + 1) {
+			out = append(out, b.predsByPair[pairKey(i, j)]...)
+		}
+	}
+	return out
+}
+
+// PredsWithin returns the indexes of all join predicates whose two sides are
+// both inside s.
+func (b *Block) PredsWithin(s bitset.Set) []int {
+	var out []int
+	for i := range b.JoinPreds {
+		t := b.predTabs[i]
+		if s.Contains(t[0]) && s.Contains(t[1]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsConnected reports whether the induced join graph on s is connected.
+// Singleton sets are connected.
+func (b *Block) IsConnected(s bitset.Set) bool {
+	if s.Empty() {
+		return false
+	}
+	frontier := bitset.Single(s.Min())
+	reached := frontier
+	for !frontier.Empty() {
+		next := b.Neighbors(reached).Intersect(s)
+		frontier = next.Diff(reached)
+		reached = reached.Union(frontier)
+	}
+	return reached == s
+}
+
+// unionFind is a minimal union-find over column ids used by the transitive
+// closure and the per-entry equivalence classes. Path compression alone
+// keeps the trees shallow at these sizes; dropping the rank array halves the
+// allocation on the MEMO hot path, where one instance is built per entry.
+type unionFind struct {
+	parent []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for int(u.parent[x]) != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = int(u.parent[x])
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = int32(ra)
+	}
+}

@@ -1,0 +1,118 @@
+// Package sqlparser implements a lexer and recursive-descent parser for the
+// SQL subset the reproduced system compiles: SELECT queries with inner and
+// left-outer joins, derived tables and IN-subqueries (including correlated
+// ones, which are decorrelated into joins and marked so the enumerator keeps
+// them on the inner side), conjunctive WHERE clauses, GROUP BY and ORDER BY.
+//
+// The parser produces query.Block values through the same builder the
+// workload generators use, so both construction paths share validation.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexeme with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer scans SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; SQL statements are short enough
+// that a token slice is simpler than a streaming scanner.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos], start)
+		case unicode.IsDigit(rune(c)):
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos], start)
+		case c == '\'':
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			l.pos++
+			l.emit(tokString, l.src[start+1:l.pos-1], start)
+		case strings.ContainsRune("(),.*", rune(c)):
+			l.pos++
+			l.emit(tokSymbol, string(c), start)
+		case strings.ContainsRune("=<>!", rune(c)):
+			l.pos++
+			if l.pos < len(l.src) && strings.ContainsRune("=>", rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokSymbol, l.src[start:l.pos], start)
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsSpace(c) {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

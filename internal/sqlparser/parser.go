@@ -1,0 +1,654 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"cote/internal/catalog"
+	"cote/internal/query"
+)
+
+// Parse compiles one SQL statement against the catalog into a query Block.
+// Identifiers are case-insensitive and folded to lower case.
+func Parse(sql string, cat *catalog.Catalog) (*query.Block, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, cat: cat, name: firstWords(sql)}
+	blk, _, err := p.parseQuery(nil)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return blk, nil
+}
+
+// MustParse is Parse for statically known-good SQL; it panics on error.
+func MustParse(sql string, cat *catalog.Catalog) *query.Block {
+	blk, err := Parse(sql, cat)
+	if err != nil {
+		panic(err)
+	}
+	return blk
+}
+
+func firstWords(sql string) string {
+	f := strings.Join(strings.Fields(sql), " ")
+	if len(f) > 40 {
+		f = f[:40] + "..."
+	}
+	return f
+}
+
+// correlation records a child-block column (by select-list ordinal) that
+// must be equi-joined to a parent column once the derived table exists.
+type correlation struct {
+	childOrdinal int
+	parentAlias  string
+	parentCol    string
+}
+
+// rawCol is an unresolved column reference.
+type rawCol struct {
+	alias, col string
+	pos        int
+}
+
+// rawSelect is one unresolved select-list item.
+type rawSelect struct {
+	col   rawCol
+	isAgg bool
+	star  bool // COUNT(*)
+}
+
+// parser holds the state for one (sub)query parse.
+type parser struct {
+	toks   []token
+	i      int
+	cat    *catalog.Catalog
+	name   string
+	parent *parser // enclosing query, for correlation resolution
+
+	qb     *query.Builder
+	subSeq int
+	// corrs and corrCols accumulate, in lockstep, the correlations found
+	// while parsing a child block and the child columns to expose for them.
+	corrs    []correlation
+	corrCols []query.ColID
+}
+
+// --- token helpers ---
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	return text == "" || strings.EqualFold(t.text, text)
+}
+
+func (p *parser) atKeyword(kw string) bool { return p.at(tokIdent, kw) }
+
+func (p *parser) take() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.cur().text)
+	}
+	p.take()
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.at(tokSymbol, sym) {
+		return p.errf("expected %q, found %q", sym, p.cur().text)
+	}
+	p.take()
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "order": true,
+	"by": true, "and": true, "join": true, "left": true, "outer": true,
+	"on": true, "as": true, "in": true, "count": true, "sum": true,
+	"avg": true, "min": true, "max": true,
+	"fetch": true, "first": true, "rows": true, "only": true,
+}
+
+// --- grammar ---
+
+// parseQuery parses SELECT ... [FROM ... WHERE ... GROUP BY ... ORDER BY
+// ...] and returns the built block plus any correlations found against the
+// parent scope.
+func (p *parser) parseQuery(parent *parser) (*query.Block, []correlation, error) {
+	p.parent = parent
+	p.qb = query.NewBuilder(p.name, p.cat)
+
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, nil, err
+	}
+	selects, err := p.parseSelectList()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, nil, err
+	}
+	if err := p.parseFrom(); err != nil {
+		return nil, nil, err
+	}
+	if p.atKeyword("where") {
+		p.take()
+		if err := p.parseConds(false, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	if p.atKeyword("group") {
+		p.take()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, nil, err
+		}
+		cols, err := p.parseColList()
+		if err != nil {
+			return nil, nil, err
+		}
+		p.qb.GroupBy(cols...)
+	}
+	if p.atKeyword("order") {
+		p.take()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, nil, err
+		}
+		cols, err := p.parseColList()
+		if err != nil {
+			return nil, nil, err
+		}
+		p.qb.OrderBy(cols...)
+	}
+	if p.atKeyword("fetch") {
+		p.take()
+		if err := p.expectKeyword("first"); err != nil {
+			return nil, nil, err
+		}
+		t := p.take()
+		if t.kind != tokNumber {
+			return nil, nil, p.errf("expected row count after FETCH FIRST, found %q", t.text)
+		}
+		n := 0
+		for _, ch := range t.text {
+			if ch < '0' || ch > '9' {
+				return nil, nil, p.errf("non-integer FETCH FIRST count %q", t.text)
+			}
+			n = n*10 + int(ch-'0')
+		}
+		if err := p.expectKeyword("rows"); err != nil {
+			return nil, nil, err
+		}
+		if err := p.expectKeyword("only"); err != nil {
+			return nil, nil, err
+		}
+		p.qb.FetchFirst(n)
+	}
+
+	// Resolve the select list now that all tables are in scope.
+	nAggs := 0
+	var selCols []query.ColID
+	for _, s := range selects {
+		if s.isAgg {
+			nAggs++
+		}
+		if s.star {
+			continue
+		}
+		id, _, err := p.resolveCol(s.col)
+		if err != nil {
+			return nil, nil, err
+		}
+		selCols = append(selCols, id)
+	}
+	// Expose correlated columns through the select list so the parent can
+	// join on them.
+	for ci := range p.corrs {
+		p.corrs[ci].childOrdinal = len(selCols) + ci
+	}
+	selCols = append(selCols, p.corrCols...)
+	if len(selCols) > 0 {
+		p.qb.SelectCols(selCols...)
+	}
+	p.qb.Aggregates(nAggs)
+
+	blk, err := p.qb.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return blk, p.corrs, nil
+}
+
+func (p *parser) parseSelectList() ([]rawSelect, error) {
+	var out []rawSelect
+	for {
+		s, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.at(tokSymbol, ",") {
+			return out, nil
+		}
+		p.take()
+	}
+}
+
+func (p *parser) parseSelectItem() (rawSelect, error) {
+	if t := p.cur(); t.kind == tokIdent {
+		kw := strings.ToLower(t.text)
+		switch kw {
+		case "count", "sum", "avg", "min", "max":
+			p.take()
+			if err := p.expectSymbol("("); err != nil {
+				return rawSelect{}, err
+			}
+			if kw == "count" && p.at(tokSymbol, "*") {
+				p.take()
+				if err := p.expectSymbol(")"); err != nil {
+					return rawSelect{}, err
+				}
+				return rawSelect{isAgg: true, star: true}, nil
+			}
+			col, err := p.parseRawCol()
+			if err != nil {
+				return rawSelect{}, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return rawSelect{}, err
+			}
+			return rawSelect{col: col, isAgg: true}, nil
+		}
+	}
+	col, err := p.parseRawCol()
+	if err != nil {
+		return rawSelect{}, err
+	}
+	return rawSelect{col: col}, nil
+}
+
+// parseFrom parses the FROM clause: comma-separated items with optional
+// [LEFT [OUTER]] JOIN ... ON ... chains.
+func (p *parser) parseFrom() error {
+	if _, err := p.parseFromItem(); err != nil {
+		return err
+	}
+	for {
+		switch {
+		case p.at(tokSymbol, ","):
+			p.take()
+			if _, err := p.parseFromItem(); err != nil {
+				return err
+			}
+		case p.atKeyword("join"):
+			p.take()
+			if err := p.parseJoinTail(false); err != nil {
+				return err
+			}
+		case p.atKeyword("left"):
+			p.take()
+			if p.atKeyword("outer") {
+				p.take()
+			}
+			if err := p.expectKeyword("join"); err != nil {
+				return err
+			}
+			if err := p.parseJoinTail(true); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// parseJoinTail parses "<item> ON conds" after a JOIN keyword.
+func (p *parser) parseJoinTail(leftOuter bool) error {
+	idx, err := p.parseFromItem()
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return err
+	}
+	var onTables []int
+	if err := p.parseConds(true, &onTables); err != nil {
+		return err
+	}
+	if leftOuter {
+		var req []int
+		for _, t := range onTables {
+			if t != idx {
+				req = append(req, t)
+			}
+		}
+		p.qb.LeftOuter(idx, req...)
+	}
+	return p.qb.Err()
+}
+
+// parseFromItem parses a base table or parenthesized subquery with its
+// alias and returns the table index.
+func (p *parser) parseFromItem() (int, error) {
+	if p.at(tokSymbol, "(") {
+		p.take()
+		sub := &parser{toks: p.toks, i: p.i, cat: p.cat, name: p.name + "/sub", subSeq: 0}
+		child, corrs, err := sub.parseQuery(p)
+		if err != nil {
+			return -1, err
+		}
+		p.i = sub.i
+		if err := p.expectSymbol(")"); err != nil {
+			return -1, err
+		}
+		alias, err := p.parseAlias(true)
+		if err != nil {
+			return -1, err
+		}
+		return p.addDerived(child, alias, corrs)
+	}
+	t := p.take()
+	if t.kind != tokIdent {
+		return -1, p.errf("expected table name, found %q", t.text)
+	}
+	alias, err := p.parseAlias(false)
+	if err != nil {
+		return -1, err
+	}
+	idx := p.qb.AddTable(strings.ToLower(t.text), alias)
+	return idx, p.qb.Err()
+}
+
+// parseAlias parses an optional [AS] alias; required reports an error when
+// missing.
+func (p *parser) parseAlias(required bool) (string, error) {
+	if p.atKeyword("as") {
+		p.take()
+	}
+	if t := p.cur(); t.kind == tokIdent && !keywords[strings.ToLower(t.text)] {
+		p.take()
+		return strings.ToLower(t.text), nil
+	}
+	if required {
+		return "", p.errf("derived table requires an alias")
+	}
+	return "", nil
+}
+
+// addDerived registers a child block as a derived table, wiring up its
+// correlations as join predicates to this block.
+func (p *parser) addDerived(child *query.Block, alias string, corrs []correlation) (int, error) {
+	idx := p.qb.AddDerived(child, alias, len(corrs) > 0)
+	if err := p.qb.Err(); err != nil {
+		return -1, err
+	}
+	for _, c := range corrs {
+		parentID := p.qb.Col(c.parentAlias, c.parentCol)
+		childID := p.qb.ColByTableIndex(idx, c.childOrdinal)
+		p.qb.Join(parentID, childID, query.Eq)
+	}
+	return idx, p.qb.Err()
+}
+
+// parseConds parses cond (AND cond)*. In an ON clause (onClause true) the
+// referenced table indexes are recorded for outer-join bookkeeping.
+func (p *parser) parseConds(onClause bool, onTables *[]int) error {
+	for {
+		if err := p.parseCond(onClause, onTables); err != nil {
+			return err
+		}
+		if !p.atKeyword("and") {
+			return nil
+		}
+		p.take()
+	}
+}
+
+// parseCond parses one comparison: col op col, col op literal, or col IN
+// (subquery).
+func (p *parser) parseCond(onClause bool, onTables *[]int) error {
+	left, err := p.parseRawCol()
+	if err != nil {
+		return err
+	}
+	if p.atKeyword("in") {
+		p.take()
+		if err := p.expectSymbol("("); err != nil {
+			return err
+		}
+		sub := &parser{toks: p.toks, i: p.i, cat: p.cat, name: p.name + "/in", subSeq: 0}
+		child, corrs, err := sub.parseQuery(p)
+		if err != nil {
+			return err
+		}
+		p.i = sub.i
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+		p.subSeq++
+		alias := fmt.Sprintf("subq%d", p.subSeq)
+		idx, err := p.addDerived(child, alias, corrs)
+		if err != nil {
+			return err
+		}
+		leftID, _, err := p.resolveCol(left)
+		if err != nil {
+			return err
+		}
+		p.qb.Join(leftID, p.qb.ColByTableIndex(idx, 0), query.Eq)
+		return p.qb.Err()
+	}
+
+	opTok := p.take()
+	if opTok.kind != tokSymbol {
+		return p.errf("expected comparison operator, found %q", opTok.text)
+	}
+	op, err := predOp(opTok.text)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+
+	rt := p.cur()
+	if rt.kind == tokNumber || rt.kind == tokString {
+		p.take()
+		id, corr, err := p.resolveCol(left)
+		if err != nil {
+			return err
+		}
+		if corr {
+			return p.errf("correlated predicate against a literal is not supported")
+		}
+		p.qb.Filter(id, op, 0)
+		if onClause {
+			*onTables = append(*onTables, p.tableOf(id))
+		}
+		return p.qb.Err()
+	}
+
+	right, err := p.parseRawCol()
+	if err != nil {
+		return err
+	}
+	return p.addColCond(left, right, op, onClause, onTables)
+}
+
+// addColCond resolves a column-to-column comparison, handling correlation
+// against the parent scope.
+func (p *parser) addColCond(left, right rawCol, op query.PredOp, onClause bool, onTables *[]int) error {
+	lID, lCorr, err := p.resolveCol(left)
+	if err != nil {
+		return err
+	}
+	rID, rCorr, err := p.resolveCol(right)
+	if err != nil {
+		return err
+	}
+	switch {
+	case lCorr && rCorr:
+		return p.errf("predicate references only enclosing-query columns")
+	case lCorr || rCorr:
+		if op != query.Eq {
+			return p.errf("correlated predicates must be equalities")
+		}
+		inner, outer := lID, right
+		if lCorr {
+			inner, outer = rID, left
+		}
+		// Expose the inner column and record the correlation; the parent
+		// joins on it when the derived table is added.
+		p.corrCols = append(p.corrCols, inner)
+		p.corrs = append(p.corrs, correlation{
+			parentAlias: outer.alias, parentCol: outer.col,
+		})
+		return nil
+	default:
+		if p.tableOf(lID) == p.tableOf(rID) {
+			// A comparison between two columns of one table restricts that
+			// table locally (e.g. l_receiptdate > l_commitdate); model it
+			// as a range filter with the System R default selectivity.
+			p.qb.Filter(lID, query.Gt, 1.0/3)
+			if onClause {
+				*onTables = append(*onTables, p.tableOf(lID))
+			}
+			return p.qb.Err()
+		}
+		p.qb.Join(lID, rID, op)
+		if onClause {
+			*onTables = append(*onTables, p.tableOf(lID), p.tableOf(rID))
+		}
+		return p.qb.Err()
+	}
+}
+
+// parseColList parses col (',' col)* and resolves each.
+func (p *parser) parseColList() ([]query.ColID, error) {
+	var out []query.ColID
+	for {
+		rc, err := p.parseRawCol()
+		if err != nil {
+			return nil, err
+		}
+		id, corr, err := p.resolveCol(rc)
+		if err != nil {
+			return nil, err
+		}
+		if corr {
+			return nil, p.errf("grouping/ordering on enclosing-query column %s.%s", rc.alias, rc.col)
+		}
+		out = append(out, id)
+		if !p.at(tokSymbol, ",") {
+			return out, nil
+		}
+		p.take()
+	}
+}
+
+// parseRawCol parses [alias '.'] column.
+func (p *parser) parseRawCol() (rawCol, error) {
+	t := p.take()
+	if t.kind != tokIdent || keywords[strings.ToLower(t.text)] {
+		return rawCol{}, p.errf("expected column reference, found %q", t.text)
+	}
+	rc := rawCol{col: strings.ToLower(t.text), pos: t.pos}
+	if p.at(tokSymbol, ".") {
+		p.take()
+		c := p.take()
+		if c.kind != tokIdent {
+			return rawCol{}, p.errf("expected column name after %q.", t.text)
+		}
+		rc.alias = rc.col
+		rc.col = strings.ToLower(c.text)
+	}
+	return rc, nil
+}
+
+// resolveCol resolves a raw column in this block's scope; when it refers to
+// the enclosing query instead, correlated reports that and the ColID is
+// invalid.
+func (p *parser) resolveCol(rc rawCol) (id query.ColID, correlated bool, err error) {
+	alias := rc.alias
+	if alias == "" {
+		alias, err = p.findAliasFor(rc.col)
+		if err != nil {
+			return query.NoCol, false, err
+		}
+	}
+	if p.hasAlias(alias) {
+		id := p.qb.Col(alias, rc.col)
+		return id, false, p.qb.Err()
+	}
+	if p.parent != nil && p.parent.hasAlias(alias) {
+		return query.NoCol, true, nil
+	}
+	return query.NoCol, false, p.errf("unknown table alias %q", alias)
+}
+
+// findAliasFor locates the unique in-scope table exposing an unqualified
+// column name.
+func (p *parser) findAliasFor(col string) (string, error) {
+	var found string
+	for _, alias := range p.qb.Aliases() {
+		if p.qb.HasColumn(alias, col) {
+			if found != "" {
+				return "", p.errf("column %q is ambiguous (%s, %s)", col, found, alias)
+			}
+			found = alias
+		}
+	}
+	if found == "" {
+		return "", p.errf("unknown column %q", col)
+	}
+	return found, nil
+}
+
+// hasAlias reports whether the alias is in this block's FROM list.
+func (p *parser) hasAlias(alias string) bool {
+	for _, a := range p.qb.Aliases() {
+		if a == alias {
+			return true
+		}
+	}
+	return false
+}
+
+// tableOf returns the owning table index of a resolved column.
+func (p *parser) tableOf(id query.ColID) int { return p.qb.TableIndexOf(id) }
+
+// predOp maps an operator token to the model's PredOp.
+func predOp(sym string) (query.PredOp, error) {
+	switch sym {
+	case "=":
+		return query.Eq, nil
+	case "<":
+		return query.Lt, nil
+	case "<=":
+		return query.Le, nil
+	case ">":
+		return query.Gt, nil
+	case ">=":
+		return query.Ge, nil
+	case "<>", "!=":
+		return query.Ne, nil
+	}
+	return 0, fmt.Errorf("unsupported operator %q", sym)
+}

@@ -1,0 +1,220 @@
+// Package stats provides the small numerical toolkit the compilation-time
+// estimator needs: ordinary least squares via normal equations (to calibrate
+// the per-join-method plan-generation constants Ct of the paper's model
+// T = Tinst * sum(Ct * Pt) from training queries) and the relative-error
+// metrics the evaluation reports.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the normal equations are (numerically)
+// singular — typically too few or collinear training observations.
+var ErrSingular = errors.New("stats: singular normal equations")
+
+// OLS fits y ≈ X·beta by ordinary least squares and returns beta. X is
+// row-major: one row per observation, one column per regressor. Rows must
+// all have the same width and there must be at least as many observations
+// as regressors.
+func OLS(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: %d rows vs %d targets", n, len(y))
+	}
+	k := len(x[0])
+	if k == 0 {
+		return nil, errors.New("stats: zero regressors")
+	}
+	if n < k {
+		return nil, fmt.Errorf("stats: %d observations for %d regressors", n, k)
+	}
+	for i, row := range x {
+		if len(row) != k {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(row), k)
+		}
+	}
+
+	// Normal equations: (XᵀX) beta = Xᵀy.
+	xtx := make([][]float64, k)
+	xty := make([]float64, k)
+	for i := 0; i < k; i++ {
+		xtx[i] = make([]float64, k)
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < k; i++ {
+			xty[i] += x[r][i] * y[r]
+			for j := 0; j < k; j++ {
+				xtx[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	beta, err := solve(xtx, xty)
+	if err == ErrSingular {
+		// Near-collinear regressors: fall back to a lightly ridge-
+		// regularized system, which always has a unique solution. The
+		// shrinkage is proportional to the matrix scale, so well-posed
+		// systems are unaffected at the digits that matter.
+		lambda := 0.0
+		for i := 0; i < k; i++ {
+			lambda += xtx[i][i]
+		}
+		lambda = lambda / float64(k) * 1e-6
+		if lambda <= 0 {
+			lambda = 1e-12
+		}
+		for i := 0; i < k; i++ {
+			xtx[i][i] += lambda
+		}
+		beta, err = solve(xtx, xty)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return beta, nil
+}
+
+// NonNegativeOLS fits like OLS but clamps negative coefficients to zero and
+// refits the remaining regressors, iterating until all coefficients are
+// nonnegative. Plan-generation costs are physical quantities; a negative Ct
+// would make the time model nonsensical.
+func NonNegativeOLS(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, errors.New("stats: no observations")
+	}
+	k := len(x[0])
+	active := make([]bool, k)
+	for i := range active {
+		active[i] = true
+	}
+	for iter := 0; iter <= k; iter++ {
+		var idx []int
+		for i, a := range active {
+			if a {
+				idx = append(idx, i)
+			}
+		}
+		out := make([]float64, k)
+		if len(idx) == 0 {
+			return out, nil
+		}
+		sub := make([][]float64, len(x))
+		for r := range x {
+			row := make([]float64, len(idx))
+			for c, i := range idx {
+				row[c] = x[r][i]
+			}
+			sub[r] = row
+		}
+		beta, err := OLS(sub, y)
+		if err != nil {
+			return nil, err
+		}
+		worst, worstVal := -1, 0.0
+		for c, i := range idx {
+			out[i] = beta[c]
+			if beta[c] < worstVal {
+				worst, worstVal = i, beta[c]
+			}
+		}
+		if worst < 0 {
+			return out, nil
+		}
+		active[worst] = false
+	}
+	return nil, errors.New("stats: non-negative refit did not converge")
+}
+
+// solve performs Gaussian elimination with partial pivoting on a (k x k)
+// system. The singularity threshold is relative to the matrix scale so that
+// well-posed but small-magnitude systems (weighted regressions) solve
+// exactly.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	k := len(a)
+	scale := 0.0
+	for i := range a {
+		for _, v := range a[i] {
+			if av := math.Abs(v); av > scale {
+				scale = av
+			}
+		}
+	}
+	eps := scale * 1e-12
+	if eps == 0 {
+		eps = 1e-300
+	}
+	// Work on copies: callers may reuse their matrices.
+	m := make([][]float64, k)
+	for i := range a {
+		m[i] = append([]float64(nil), a[i]...)
+		m[i] = append(m[i], b[i])
+	}
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < eps {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < k; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= k; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		s := m[r][k]
+		for c := r + 1; c < k; c++ {
+			s -= m[r][c] * out[c]
+		}
+		out[r] = s / m[r][r]
+	}
+	return out, nil
+}
+
+// RelErr returns |est-actual| / actual. An actual of zero yields 0 when the
+// estimate is also zero and +Inf otherwise.
+func RelErr(est, actual float64) float64 {
+	if actual == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-actual) / math.Abs(actual)
+}
+
+// Summary aggregates relative errors.
+type Summary struct {
+	Mean, Max float64
+	N         int
+}
+
+// Summarize computes the mean and max relative error of paired estimates
+// and actuals.
+func Summarize(est, actual []float64) (Summary, error) {
+	if len(est) != len(actual) {
+		return Summary{}, fmt.Errorf("stats: %d estimates vs %d actuals", len(est), len(actual))
+	}
+	var s Summary
+	for i := range est {
+		e := RelErr(est[i], actual[i])
+		s.Mean += e
+		if e > s.Max {
+			s.Max = e
+		}
+		s.N++
+	}
+	if s.N > 0 {
+		s.Mean /= float64(s.N)
+	}
+	return s, nil
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOLSExactFit(t *testing.T) {
+	// y = 2a + 3b, noise free.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {3, 5}}
+	y := []float64{2, 3, 5, 7, 21}
+	beta, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-9 || math.Abs(beta[1]-3) > 1e-9 {
+		t.Fatalf("beta = %v, want [2 3]", beta)
+	}
+}
+
+func TestOLSLeastSquaresProperty(t *testing.T) {
+	// With noise, the fit must beat any small perturbation of itself.
+	x := [][]float64{{1, 2}, {2, 1}, {3, 3}, {4, 1}, {5, 4}, {6, 2}}
+	y := []float64{8.1, 6.9, 15.2, 10.8, 19.1, 13.9}
+	beta, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sse := func(b []float64) float64 {
+		s := 0.0
+		for i, row := range x {
+			p := row[0]*b[0] + row[1]*b[1]
+			s += (y[i] - p) * (y[i] - p)
+		}
+		return s
+	}
+	base := sse(beta)
+	for _, d := range []([]float64){{0.01, 0}, {-0.01, 0}, {0, 0.01}, {0, -0.01}} {
+		if sse([]float64{beta[0] + d[0], beta[1] + d[1]}) < base {
+			t.Fatalf("perturbation %v improved the fit", d)
+		}
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := OLS([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("underdetermined system accepted")
+	}
+	if _, err := OLS([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	// Collinear columns: resolved by the ridge fallback rather than
+	// rejected — any finite solution reproducing the targets is accepted.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	beta, err := OLS(x, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("collinear system not resolved by ridge fallback: %v", err)
+	}
+	for i, row := range x {
+		pred := row[0]*beta[0] + row[1]*beta[1]
+		if math.Abs(pred-float64(i+1)) > 1e-3 {
+			t.Fatalf("ridge solution off: row %d pred %v", i, pred)
+		}
+	}
+}
+
+func TestNonNegativeOLS(t *testing.T) {
+	// y depends negatively on the second regressor; NNLS zeroes it.
+	x := [][]float64{{1, 1}, {2, 1}, {3, 0}, {4, 2}, {5, 0}}
+	y := []float64{0.9, 2.1, 3.0, 3.8, 5.1}
+	beta, err := NonNegativeOLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range beta {
+		if b < 0 {
+			t.Fatalf("coefficient %d negative: %v", i, b)
+		}
+	}
+	// First coefficient near 1.
+	if math.Abs(beta[0]-1) > 0.2 {
+		t.Fatalf("beta = %v, want beta[0] ~ 1", beta)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(110, 100) != 0.1 {
+		t.Fatal("RelErr(110,100) != 0.1")
+	}
+	if RelErr(90, 100) != 0.1 {
+		t.Fatal("RelErr(90,100) != 0.1")
+	}
+	if RelErr(0, 0) != 0 {
+		t.Fatal("RelErr(0,0) != 0")
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Fatal("RelErr(1,0) not +Inf")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{110, 80}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 2 || math.Abs(s.Mean-0.15) > 1e-9 || s.Max != 0.2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if _, err := Summarize([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	empty, _ := Summarize(nil, nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+// Property: OLS recovers arbitrary 2-coefficient models from noise-free
+// data.
+func TestQuickOLSRecovery(t *testing.T) {
+	f := func(a, b int16) bool {
+		ca, cb := float64(a)/100, float64(b)/100
+		x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 3}, {5, 2}}
+		y := make([]float64, len(x))
+		for i, row := range x {
+			y[i] = ca*row[0] + cb*row[1]
+		}
+		beta, err := OLS(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(beta[0]-ca) < 1e-6 && math.Abs(beta[1]-cb) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NonNegativeOLS never returns a negative coefficient.
+func TestQuickNNLSNonNegative(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 8 {
+			return true
+		}
+		x := make([][]float64, 6)
+		y := make([]float64, 6)
+		idx := 0
+		next := func() float64 { v := float64(raw[idx%len(raw)]) + 1; idx++; return v }
+		for i := range x {
+			x[i] = []float64{next(), next()}
+			y[i] = next() - 128
+		}
+		beta, err := NonNegativeOLS(x, y)
+		if err != nil {
+			return true // singular fixtures are fine
+		}
+		for _, b := range beta {
+			if b < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

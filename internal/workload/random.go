@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cote/internal/catalog"
+	"cote/internal/query"
+)
+
+// Random builds the random workload: a seeded generator over the real1
+// (Warehouse1) schema, modeled on the DB2 robustness tool the paper used:
+// it "creates increasingly complex queries by merging simpler queries ...
+// using either subqueries or joins" and "tries to join two tables with a
+// foreign-key to primary-key relationship", so the output resembles real
+// customer queries. count queries are produced with table counts ramping up
+// to maxTables.
+func Random(seed int64, count, maxTables, nodes int) *Workload {
+	cat := catalog.Warehouse1(nodes)
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{Name: suffixed("random", nodes), Catalog: cat}
+	for i := 0; i < count; i++ {
+		// Complexity ramps with the query index, as the tool's complexity
+		// level does.
+		target := 3 + (i*(maxTables-3))/max(count-1, 1)
+		g := &randGen{cat: cat, rng: rng}
+		blk := g.genQuery(fmt.Sprintf("random_%02d", i), target, true)
+		w.Queries = append(w.Queries, Query{Name: blk.Name, Block: blk})
+	}
+	return w
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fkEdge is one foreign-key relationship usable as a join.
+type fkEdge struct {
+	from, to       string // table names
+	fromCol, toCol string // single-column FK legs
+	multi          bool   // composite FK (first leg still used)
+}
+
+// randGen generates one query at a time.
+type randGen struct {
+	cat *catalog.Catalog
+	rng *rand.Rand
+}
+
+// edges lists all single-leg FK edges of the catalog, in deterministic
+// order.
+func (g *randGen) edges() []fkEdge {
+	var out []fkEdge
+	for _, name := range g.cat.TableNames() {
+		t := g.cat.MustTable(name)
+		for _, fk := range t.ForeignKeys {
+			out = append(out, fkEdge{
+				from: name, to: fk.RefTable,
+				fromCol: fk.Columns[0], toCol: fk.RefColumns[0],
+				multi: len(fk.Columns) > 1,
+			})
+		}
+	}
+	return out
+}
+
+// genQuery builds one query block with roughly target base tables,
+// possibly nesting one subquery (the "merging" step of the tool).
+func (g *randGen) genQuery(name string, target int, allowSub bool) *query.Block {
+	qb := query.NewBuilder(name, g.cat)
+	edges := g.edges()
+
+	// Seed with a random fact-ish table: prefer tables that own FKs.
+	seed := edges[g.rng.Intn(len(edges))].from
+	aliases := map[string]string{} // table name -> alias (one use per table; reuse via suffix)
+	used := map[string]int{}       // table name -> times used
+	addTable := func(table string) string {
+		used[table]++
+		alias := table
+		if used[table] > 1 {
+			alias = fmt.Sprintf("%s%d", table, used[table])
+		}
+		qb.AddTable(table, alias)
+		aliases[table] = alias
+		return alias
+	}
+	addTable(seed)
+	tables := 1
+
+	for tables < target {
+		// Candidate edges touching the current query.
+		var cands []fkEdge
+		for _, e := range edges {
+			_, haveFrom := aliases[e.from]
+			_, haveTo := aliases[e.to]
+			if haveFrom != haveTo { // extends the query by one table
+				cands = append(cands, e)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		e := cands[g.rng.Intn(len(cands))]
+		var newAlias, oldAlias string
+		var newCol, oldCol string
+		if _, have := aliases[e.from]; have {
+			oldAlias, oldCol = aliases[e.from], e.fromCol
+			newAlias, newCol = addTable(e.to), e.toCol
+		} else {
+			oldAlias, oldCol = aliases[e.to], e.toCol
+			newAlias, newCol = addTable(e.from), e.fromCol
+		}
+		qb.JoinEq(oldAlias, oldCol, newAlias, newCol)
+		tables++
+	}
+
+	// Local predicates: a couple of equality filters on random columns.
+	npreds := 1 + g.rng.Intn(3)
+	aliasList := qb.Aliases()
+	for i := 0; i < npreds; i++ {
+		alias := aliasList[g.rng.Intn(len(aliasList))]
+		tabName := alias
+		if n := len(tabName); n > 0 && tabName[n-1] >= '2' && tabName[n-1] <= '9' {
+			tabName = tabName[:n-1]
+		}
+		tab := g.cat.MustTable(tabName)
+		col := tab.Columns[g.rng.Intn(len(tab.Columns))]
+		qb.FilterEq(alias, col.Name)
+	}
+
+	// Optionally merge in a smaller subquery as a derived table, joined on
+	// a shared FK column.
+	if allowSub && target >= 5 && g.rng.Intn(2) == 0 {
+		sub := g.genQuery(name+"_sub", 2+g.rng.Intn(2), false)
+		alias := "dv"
+		idx := qb.AddDerived(sub, alias, false)
+		// Join the derived table's first column to an equally named column
+		// in the outer query if one exists; otherwise join to the first
+		// table's first column through equality of NDV domains.
+		joined := false
+		subColName := sub.Column(sub.Select[0]).Col.Name
+		for _, a := range aliasList {
+			if qb.HasColumn(a, subColName) {
+				qb.Join(qb.Col(a, subColName), qb.ColByTableIndex(idx, 0), query.Eq)
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			qb.Join(qb.ColByTableIndex(0, 0), qb.ColByTableIndex(idx, 0), query.Eq)
+		}
+	}
+
+	// Grouping and ordering over dimension-ish columns, sometimes.
+	if g.rng.Intn(2) == 0 {
+		alias := aliasList[0]
+		tab := firstBaseTable(g.cat, alias)
+		if tab != nil && len(tab.Columns) >= 2 {
+			qb.GroupBy(qb.Col(alias, tab.Columns[1].Name))
+			qb.Aggregates(1)
+		}
+	}
+	if g.rng.Intn(2) == 0 {
+		alias := aliasList[0]
+		tab := firstBaseTable(g.cat, alias)
+		if tab != nil {
+			qb.OrderBy(qb.Col(alias, tab.Columns[0].Name))
+		}
+	}
+
+	blk, err := qb.Build()
+	if err != nil {
+		// The generator only combines validated schema elements; an error
+		// here is a bug, not an input condition.
+		panic(fmt.Sprintf("workload: random generator produced invalid query %s: %v", name, err))
+	}
+	return blk
+}
+
+// firstBaseTable resolves an alias (possibly suffixed) back to its catalog
+// table.
+func firstBaseTable(cat *catalog.Catalog, alias string) *catalog.Table {
+	name := alias
+	if n := len(name); n > 0 && name[n-1] >= '2' && name[n-1] <= '9' {
+		name = name[:n-1]
+	}
+	t, err := cat.Table(name)
+	if err != nil {
+		return nil
+	}
+	return t
+}
