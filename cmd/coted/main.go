@@ -1,0 +1,113 @@
+// Command coted runs the compilation-time estimation service: a
+// long-running HTTP/JSON daemon wrapping the cote library with a catalog
+// registry, a bounded worker pool, an LRU estimate cache, MOP-driven
+// admission control and a metrics endpoint.
+//
+// Usage:
+//
+//	coted [-addr :8334] [-workers N] [-queue N] [-timeout 30s]
+//	      [-cache 1024] [-budget 0] [-downgrade] [-calibrate star]
+//
+// Endpoints: POST /v1/estimate, POST /v1/optimize, POST /v1/calibrate,
+// GET/POST /v1/catalogs, GET /metrics, GET /healthz. See the README's
+// "Running the coted server" section for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"cote/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8334", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting for a worker (0 = 4x workers)")
+	timeout := flag.Duration("timeout", 0, "per-request timeout (0 = 30s, negative = none)")
+	cacheCap := flag.Int("cache", 1024, "estimate cache capacity (entries)")
+	budget := flag.Duration("budget", 0, "admission budget: reject/downgrade optimizations predicted to compile longer than this (0 = off)")
+	downgrade := flag.Bool("downgrade", false, "downgrade over-budget optimizations to a cheaper level instead of rejecting")
+	calibrate := flag.String("calibrate", "", "calibrate the time model on this workload at startup (linear, star, random, real1, real2, tpch)")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		RequestTimeout: *timeout,
+		CacheCapacity:  *cacheCap,
+		Budget:         *budget,
+		Downgrade:      *downgrade,
+	})
+
+	if *calibrate != "" {
+		log.Printf("calibrating time model on workload %q ...", *calibrate)
+		resp, err := srv.Calibrate(context.Background(), service.CalibrateRequest{Workload: *calibrate})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coted: calibrate: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("calibrated on %d points: %s", resp.Points, resp.Model)
+	} else if *budget > 0 {
+		log.Printf("warning: -budget set without -calibrate; admission bypasses until POST /v1/calibrate installs a model")
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(srv.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down ...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	log.Printf("coted listening on %s (workers=%d)", *addr, srvWorkers(*workers))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "coted: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// srvWorkers mirrors the server's worker default for the startup log line.
+func srvWorkers(flagValue int) int {
+	if flagValue > 0 {
+		return flagValue
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// logRequests logs one line per request: method, path, status, duration.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Printf("%s %s -> %d (%v)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}

@@ -84,23 +84,18 @@ func main() {
 	fmt.Printf("\n=== plan (level %v, %d node(s)) ===\n%s\n", level, *nodes, res.Plan)
 	fmt.Printf("estimated execution cost: %.0f units, output rows: %.0f\n", res.Plan.Cost, res.Plan.Card)
 	ordered, pairs := res.TotalJoins()
-	c := res.TotalCounters()
+	actual := cote.ActualPlanCounts(res)
 	fmt.Printf("\n=== real compilation ===\n")
-	fmt.Printf("time %v | %d join pairs (%d ordered) | plans generated: MGJN %d, NLJN %d, HSJN %d\n",
-		res.Elapsed, pairs, ordered,
-		c.Generated[cote.MGJN], c.Generated[cote.NLJN], c.Generated[cote.HSJN])
+	fmt.Printf("time %v | %d join pairs (%d ordered) | plans generated: %v\n",
+		res.Elapsed, pairs, ordered, actual)
 
 	est, err := cote.EstimatePlans(q, cote.EstimateOptions{Level: level, Config: cfg})
 	if err != nil {
 		fatalf("estimate: %v", err)
 	}
 	fmt.Printf("\n=== compilation time estimator ===\n")
-	fmt.Printf("estimation took %v (%.2f%% of compilation)\n",
-		est.Elapsed, 100*est.Elapsed.Seconds()/res.Elapsed.Seconds())
-	fmt.Printf("estimated plans: MGJN %d, NLJN %d, HSJN %d (actual %d/%d/%d)\n",
-		est.Counts.ByMethod[cote.MGJN], est.Counts.ByMethod[cote.NLJN], est.Counts.ByMethod[cote.HSJN],
-		c.Generated[cote.MGJN], c.Generated[cote.NLJN], c.Generated[cote.HSJN])
-	fmt.Printf("predicted optimizer memory lower bound: %d bytes\n", est.PredictedMemoryBytes)
+	fmt.Printf("%v (%.2f%% of compilation)\n", est, 100*est.Elapsed.Seconds()/res.Elapsed.Seconds())
+	fmt.Printf("estimated plans: %v (actual %v)\n", est.Counts, actual)
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,97 @@
+package cote_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"cote"
+)
+
+// TestConcurrentEstimationMatchesSerial guards the service's worker pool
+// against hidden shared state in the enumerator and MEMO: the linear and
+// star workloads are estimated (and a subset optimized) from N goroutines
+// sharing the same query blocks, and every run must produce exactly the
+// serial run's plan counts. Run under -race (CI does) this also checks
+// memory safety of the whole estimate/optimize path.
+func TestConcurrentEstimationMatchesSerial(t *testing.T) {
+	workloads := []*cote.Workload{cote.LinearWorkload(1), cote.StarWorkload(1)}
+
+	type job struct {
+		name     string
+		block    *cote.Query
+		optimize bool // also run the full optimizer (kept to the small batch)
+	}
+	var jobs []job
+	for _, w := range workloads {
+		for _, q := range w.Queries {
+			jobs = append(jobs, job{
+				name:     w.Name + "/" + q.Name,
+				block:    q.Block,
+				optimize: strings.Contains(q.Name, "_n6_"),
+			})
+		}
+	}
+
+	// Serial baselines.
+	estBase := make(map[string]cote.PlanCounts)
+	optBase := make(map[string]cote.PlanCounts)
+	for _, j := range jobs {
+		est, err := cote.EstimatePlans(j.block, cote.EstimateOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", j.name, err)
+		}
+		estBase[j.name] = est.Counts
+		if j.optimize {
+			res, err := cote.Optimize(j.block, cote.OptimizeOptions{})
+			if err != nil {
+				t.Fatalf("%s: %v", j.name, err)
+			}
+			optBase[j.name] = cote.ActualPlanCounts(res)
+		}
+	}
+
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the jobs at a different offset so
+			// different queries overlap in time.
+			for i := range jobs {
+				j := jobs[(i+g*3)%len(jobs)]
+				est, err := cote.EstimatePlans(j.block, cote.EstimateOptions{})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %s: %v", g, j.name, err)
+					return
+				}
+				if est.Counts != estBase[j.name] {
+					errs <- fmt.Errorf("goroutine %d: %s: estimate %v != serial %v", g, j.name, est.Counts, estBase[j.name])
+					return
+				}
+				if j.optimize {
+					res, err := cote.Optimize(j.block, cote.OptimizeOptions{})
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d: %s: %v", g, j.name, err)
+						return
+					}
+					if got := cote.ActualPlanCounts(res); got != optBase[j.name] {
+						errs <- fmt.Errorf("goroutine %d: %s: optimize %v != serial %v", g, j.name, got, optBase[j.name])
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

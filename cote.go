@@ -189,11 +189,19 @@ func EstimateLevels(q *Query, top Level, levels []Level, opts EstimateOptions) (
 
 // StatementCache is the Section 1.2 baseline: remember the compilation
 // time of structurally identical statements. Exact repeats hit; the ad-hoc
-// variations the estimator targets miss.
+// variations the estimator targets miss. It is bounded (LRU) and safe for
+// concurrent use.
 type StatementCache = core.StatementCache
 
-// NewStatementCache returns an empty statement cache.
+// NewStatementCache returns an empty statement cache with the default
+// capacity (1024 statements).
 func NewStatementCache() *StatementCache { return core.NewStatementCache() }
+
+// NewStatementCacheCap returns an empty statement cache evicting beyond
+// capacity entries.
+func NewStatementCacheCap(capacity int) *StatementCache {
+	return core.NewStatementCacheCap(capacity)
+}
 
 // JoinCountEstimate is the prior-work baseline: the Ono-Lohman join count.
 type JoinCountEstimate = core.JoinCountEstimate

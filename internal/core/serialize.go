@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cote/internal/props"
+)
+
+// This file is the one shared serialization of estimation results: the
+// service's JSON responses and the CLIs' human-readable printing both go
+// through it instead of hand-rolling their own formats.
+
+// String renders per-method plan counts compactly, e.g.
+// "MGJN 12, NLJN 34, HSJN 5 (total 51)".
+func (p PlanCounts) String() string {
+	return fmt.Sprintf("MGJN %d, NLJN %d, HSJN %d (total %d)",
+		p.ByMethod[props.MGJN], p.ByMethod[props.NLJN], p.ByMethod[props.HSJN], p.Total())
+}
+
+type planCountsJSON struct {
+	MGJN  int `json:"mgjn"`
+	NLJN  int `json:"nljn"`
+	HSJN  int `json:"hsjn"`
+	Total int `json:"total"`
+}
+
+// MarshalJSON renders the counts as named per-method fields plus the total.
+func (p PlanCounts) MarshalJSON() ([]byte, error) {
+	return json.Marshal(planCountsJSON{
+		MGJN:  p.ByMethod[props.MGJN],
+		NLJN:  p.ByMethod[props.NLJN],
+		HSJN:  p.ByMethod[props.HSJN],
+		Total: p.Total(),
+	})
+}
+
+// UnmarshalJSON accepts the MarshalJSON form (the total is recomputed, not
+// trusted).
+func (p *PlanCounts) UnmarshalJSON(data []byte) error {
+	var j planCountsJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	p.ByMethod[props.MGJN] = j.MGJN
+	p.ByMethod[props.NLJN] = j.NLJN
+	p.ByMethod[props.HSJN] = j.HSJN
+	return nil
+}
+
+// String renders the estimate on one line: counts, enumerated joins, the
+// estimator's own elapsed time, and — when a model produced them — the
+// compilation-time and memory predictions.
+func (e *Estimate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plans %v | %d joins (%d pairs)", e.Counts, e.Joins, e.Pairs)
+	fmt.Fprintf(&b, " | estimation took %v", e.Elapsed)
+	if e.PredictedTime > 0 {
+		fmt.Fprintf(&b, " | predicted compile %v", e.PredictedTime)
+	}
+	if e.PredictedMemoryBytes > 0 {
+		fmt.Fprintf(&b, " | predicted memory >= %d B", e.PredictedMemoryBytes)
+	}
+	return b.String()
+}
+
+type estimateJSON struct {
+	Counts               PlanCounts `json:"counts"`
+	Joins                int        `json:"joins"`
+	Pairs                int        `json:"pairs"`
+	Blocks               int        `json:"blocks"`
+	ElapsedNS            int64      `json:"elapsed_ns"`
+	PredictedTimeNS      int64      `json:"predicted_time_ns,omitempty"`
+	PredictedMemoryBytes int64      `json:"predicted_memory_bytes"`
+}
+
+// MarshalJSON renders the estimate for service responses: plan counts,
+// join totals, block count, and durations in integer nanoseconds.
+func (e *Estimate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(estimateJSON{
+		Counts:               e.Counts,
+		Joins:                e.Joins,
+		Pairs:                e.Pairs,
+		Blocks:               len(e.Blocks),
+		ElapsedNS:            e.Elapsed.Nanoseconds(),
+		PredictedTimeNS:      e.PredictedTime.Nanoseconds(),
+		PredictedMemoryBytes: e.PredictedMemoryBytes,
+	})
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"cote/internal/props"
+)
+
+func TestPlanCountsSerialization(t *testing.T) {
+	var p PlanCounts
+	p.ByMethod[props.MGJN] = 12
+	p.ByMethod[props.NLJN] = 34
+	p.ByMethod[props.HSJN] = 5
+	if got, want := p.String(), "MGJN 12, NLJN 34, HSJN 5 (total 51)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"mgjn":12,"nljn":34,"hsjn":5,"total":51}`; string(data) != want {
+		t.Fatalf("MarshalJSON = %s, want %s", data, want)
+	}
+	var back PlanCounts
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip: %v != %v", back, p)
+	}
+}
+
+func TestEstimateSerialization(t *testing.T) {
+	e := &Estimate{
+		Joins: 10, Pairs: 6,
+		Elapsed:              1500 * time.Microsecond,
+		PredictedTime:        42 * time.Millisecond,
+		PredictedMemoryBytes: 4096,
+	}
+	e.Counts.ByMethod[props.NLJN] = 7
+	s := e.String()
+	for _, want := range []string{"NLJN 7", "10 joins", "6 pairs", "predicted compile 42ms", "4096 B"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["predicted_time_ns"].(float64) != 42e6 {
+		t.Fatalf("predicted_time_ns = %v", m["predicted_time_ns"])
+	}
+	if m["counts"].(map[string]any)["total"].(float64) != 7 {
+		t.Fatalf("counts = %v", m["counts"])
+	}
+}

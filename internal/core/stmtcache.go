@@ -4,10 +4,17 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"cote/internal/lru"
 	"cote/internal/query"
 )
+
+// DefaultStatementCacheCapacity bounds NewStatementCache: a long-running
+// server replaying an unbounded ad-hoc stream must not grow the cache
+// without limit.
+const DefaultStatementCacheCapacity = 1024
 
 // StatementCache is the straightforward alternative the paper's Section 1.2
 // dismisses: "cache the compilation time for each compiled query in a
@@ -21,15 +28,26 @@ import (
 // column — produces a different key and therefore a miss, even though the
 // compilation time may barely differ, and conversely a hit can be badly
 // wrong when only the statistics changed.
+//
+// The cache is bounded (least-recently-used eviction) and safe for
+// concurrent use, so the serving layer can share one instance across
+// request goroutines.
 type StatementCache struct {
-	entries map[string]time.Duration
+	mu      sync.Mutex
+	entries *lru.Cache[string, time.Duration]
 	hits    int
 	misses  int
 }
 
-// NewStatementCache returns an empty cache.
+// NewStatementCache returns an empty cache with the default capacity.
 func NewStatementCache() *StatementCache {
-	return &StatementCache{entries: make(map[string]time.Duration)}
+	return NewStatementCacheCap(DefaultStatementCacheCapacity)
+}
+
+// NewStatementCacheCap returns an empty cache evicting beyond capacity
+// entries (capacities below 1 are raised to 1).
+func NewStatementCacheCap(capacity int) *StatementCache {
+	return &StatementCache{entries: lru.New[string, time.Duration](capacity)}
 }
 
 // Signature computes the structural cache key of a query.
@@ -80,9 +98,12 @@ func Signature(blk *query.Block) string {
 }
 
 // Lookup returns the cached compilation time for a structurally identical
-// query, if one was recorded.
+// query, if one was recorded (and not yet evicted).
 func (c *StatementCache) Lookup(blk *query.Block) (time.Duration, bool) {
-	d, ok := c.entries[Signature(blk)]
+	sig := Signature(blk)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.entries.Get(sig)
 	if ok {
 		c.hits++
 	} else {
@@ -91,13 +112,28 @@ func (c *StatementCache) Lookup(blk *query.Block) (time.Duration, bool) {
 	return d, ok
 }
 
-// Record stores the measured compilation time of a query.
+// Record stores the measured compilation time of a query, evicting the
+// least recently used statement when the cache is full.
 func (c *StatementCache) Record(blk *query.Block, actual time.Duration) {
-	c.entries[Signature(blk)] = actual
+	sig := Signature(blk)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries.Put(sig, actual)
 }
 
 // Stats returns the hit/miss counts observed so far.
-func (c *StatementCache) Stats() (hits, misses int) { return c.hits, c.misses }
+func (c *StatementCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
 
 // Len returns the number of cached statements.
-func (c *StatementCache) Len() int { return len(c.entries) }
+func (c *StatementCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.Len()
+}
+
+// Cap returns the cache capacity.
+func (c *StatementCache) Cap() int { return c.entries.Cap() }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"sync"
 	"testing"
 	"time"
 
 	"cote/internal/opt"
+	"cote/internal/query"
 	"cote/internal/stats"
 )
 
@@ -95,6 +97,65 @@ func TestStatementCacheVsCOTEOnAdHocWorkload(t *testing.T) {
 	if coteSum.Mean >= cacheSum.Mean {
 		t.Fatalf("COTE (%.0f%%) not better than last-seen cache (%.0f%%) on ad-hoc stream",
 			coteSum.Mean*100, cacheSum.Mean*100)
+	}
+}
+
+func TestStatementCacheEviction(t *testing.T) {
+	// Capacity 2: recording a third distinct statement evicts the least
+	// recently used one, while a re-used statement survives.
+	c := NewStatementCacheCap(2)
+	if c.Cap() != 2 {
+		t.Fatalf("cap = %d", c.Cap())
+	}
+	a := starBlock(t, 6, 1, 1, 0, 1)
+	b := starBlock(t, 6, 2, 1, 0, 1)
+	c.Record(a, 1*time.Millisecond)
+	c.Record(b, 2*time.Millisecond)
+	if _, ok := c.Lookup(a); !ok { // refresh a: b becomes the LRU
+		t.Fatal("a missing before eviction")
+	}
+	c.Record(starBlock(t, 6, 3, 1, 0, 1), 3*time.Millisecond)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Lookup(b); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Lookup(a); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+}
+
+func TestStatementCacheConcurrent(t *testing.T) {
+	// N goroutines hammer one cache with overlapping record/lookup streams;
+	// run under -race this guards the mutex, and the bounded cache must end
+	// at most at capacity with consistent stats.
+	c := NewStatementCacheCap(8)
+	var blks []*query.Block
+	for preds := 1; preds <= 5; preds++ {
+		blks = append(blks, starBlock(t, 6, preds, 1, 0, 1))
+		blks = append(blks, starBlock(t, 8, preds, 1, 0, 1))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				blk := blks[(g+i)%len(blks)]
+				if _, ok := c.Lookup(blk); !ok {
+					c.Record(blk, time.Duration(i)*time.Microsecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits+misses != 8*200 {
+		t.Fatalf("stats %d+%d != %d lookups", hits, misses, 8*200)
 	}
 }
 

@@ -1,0 +1,90 @@
+package lru
+
+import "testing"
+
+func TestPutGetUpdate(t *testing.T) {
+	c := New[string, int](3)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("update lost: %d", v)
+	}
+	if c.Len() != 2 || c.Cap() != 3 {
+		t.Fatalf("len %d cap %d", c.Len(), c.Cap())
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Get(1) // 2 is now the LRU
+	if k, ev := c.Put(3, 3); !ev || k != 2 {
+		t.Fatalf("evicted %d, %v; want 2", k, ev)
+	}
+	if c.Contains(2) {
+		t.Fatal("evicted key still present")
+	}
+	for _, k := range []int{1, 3} {
+		if !c.Contains(k) {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestPutRefreshesRecency(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(1, 11) // re-Put makes 1 the MRU
+	if k, ev := c.Put(3, 3); !ev || k != 2 {
+		t.Fatalf("evicted %d, %v; want 2", k, ev)
+	}
+}
+
+func TestCapacityClamped(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1)
+	if k, ev := c.Put(2, 2); !ev || k != 1 {
+		t.Fatalf("cap-1 cache kept both: evicted %d, %v", k, ev)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestChurnKeepsListConsistent(t *testing.T) {
+	c := New[int, int](8)
+	for i := 0; i < 1000; i++ {
+		c.Put(i%13, i)
+		c.Get(i % 7)
+		if c.Len() > 8 {
+			t.Fatalf("len %d exceeds cap", c.Len())
+		}
+	}
+	// Walk the list both ways and compare with the map size.
+	n := 0
+	for p := c.head; p != nil; p = p.next {
+		n++
+	}
+	if n != c.Len() {
+		t.Fatalf("forward walk %d != len %d", n, c.Len())
+	}
+	n = 0
+	for p := c.tail; p != nil; p = p.prev {
+		n++
+	}
+	if n != c.Len() {
+		t.Fatalf("backward walk %d != len %d", n, c.Len())
+	}
+}

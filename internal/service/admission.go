@@ -1,0 +1,117 @@
+package service
+
+import (
+	"time"
+
+	"cote/internal/opt"
+)
+
+// AdmissionAction is what the admission controller decided about a full
+// optimization request.
+type AdmissionAction string
+
+// Admission actions.
+const (
+	// AdmitAccept runs the optimization at the requested level: its
+	// predicted compilation time fits the budget (or no budget is set).
+	AdmitAccept AdmissionAction = "accept"
+	// AdmitDowngrade runs the optimization at a cheaper level than
+	// requested, the costliest one whose prediction fits the budget.
+	AdmitDowngrade AdmissionAction = "downgrade"
+	// AdmitReject refuses the optimization: over budget and downgrading
+	// was not allowed.
+	AdmitReject AdmissionAction = "reject"
+	// AdmitBypass runs unchecked: no calibrated model is available, so
+	// compilation time cannot be priced.
+	AdmitBypass AdmissionAction = "bypass"
+)
+
+// AdmissionDecision records the controller's choice and the numbers behind
+// it. It is the paper's Figure 1 decision ("is further optimization worth
+// its compilation time?") with the plan-benefit side replaced by an
+// operator-set compile-time budget.
+type AdmissionDecision struct {
+	Action         AdmissionAction `json:"action"`
+	RequestedLevel string          `json:"requested_level"`
+	AdmittedLevel  string          `json:"admitted_level,omitempty"`
+	// PredictedNS is the model's compilation-time prediction for the
+	// requested level, in nanoseconds (absent under bypass).
+	PredictedNS int64 `json:"predicted_ns,omitempty"`
+	// BudgetNS is the budget the prediction was compared against.
+	BudgetNS int64 `json:"budget_ns,omitempty"`
+}
+
+// downgrades maps each dynamic-programming level to the next cheaper
+// search space: bushy → inner2 → zigzag → leftdeep → greedy.
+func downgrades(l opt.Level) opt.Level {
+	switch l {
+	case opt.LevelHigh:
+		return opt.LevelHighInner2
+	case opt.LevelHighInner2:
+		return opt.LevelMediumZigZag
+	case opt.LevelMediumZigZag:
+		return opt.LevelMediumLeftDeep
+	default:
+		return opt.LevelLow
+	}
+}
+
+// admit prices the requested optimization level with the cheap estimator
+// and decides accept / downgrade / reject. predict returns the predicted
+// compilation time of one level (the server routes it through the estimate
+// cache, so repeated admissions of the same statement shape are nearly
+// free). A zero budget or a nil-model predict (predicted == 0 with ok ==
+// false) bypasses control. The greedy low level never needs admission: its
+// cost is polynomial and it is the floor every downgrade ends at.
+func admit(requested opt.Level, budget time.Duration, allowDowngrade bool,
+	predict func(opt.Level) (time.Duration, bool, error)) (*AdmissionDecision, error) {
+
+	dec := &AdmissionDecision{
+		RequestedLevel: LevelName(requested),
+		AdmittedLevel:  LevelName(requested),
+		BudgetNS:       budget.Nanoseconds(),
+	}
+	if budget <= 0 || requested == opt.LevelLow {
+		dec.Action = AdmitAccept
+		if budget <= 0 {
+			dec.BudgetNS = 0
+		}
+		return dec, nil
+	}
+	predicted, ok, err := predict(requested)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		dec.Action = AdmitBypass
+		return dec, nil
+	}
+	dec.PredictedNS = predicted.Nanoseconds()
+	if predicted <= budget {
+		dec.Action = AdmitAccept
+		return dec, nil
+	}
+	if !allowDowngrade {
+		dec.Action = AdmitReject
+		dec.AdmittedLevel = ""
+		return dec, nil
+	}
+	// Walk down the level ladder to the costliest level that fits; the
+	// greedy floor always fits.
+	for l := downgrades(requested); ; l = downgrades(l) {
+		if l == opt.LevelLow {
+			dec.Action = AdmitDowngrade
+			dec.AdmittedLevel = LevelName(l)
+			return dec, nil
+		}
+		p, ok, err := predict(l)
+		if err != nil {
+			return nil, err
+		}
+		if !ok || p <= budget {
+			dec.Action = AdmitDowngrade
+			dec.AdmittedLevel = LevelName(l)
+			return dec, nil
+		}
+	}
+}

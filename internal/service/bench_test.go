@@ -1,0 +1,52 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// Service hot-path benchmarks: the full request path (parse, cache, pool,
+// estimate) with and without cache hits, as the baseline for later
+// serving-layer perf work.
+
+func benchEstimate(b *testing.B, req EstimateRequest) {
+	srv := New(Config{Workers: 4})
+	ctx := context.Background()
+	if _, err := srv.Estimate(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Estimate(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceEstimateCacheHit measures the cached path: the repeat
+// request costs one parse + signature + LRU lookup, no enumeration.
+func BenchmarkServiceEstimateCacheHit(b *testing.B) {
+	benchEstimate(b, EstimateRequest{Catalog: "tpch", SQL: tpchQ6})
+}
+
+// BenchmarkServiceEstimateCacheMiss measures the uncached path: every
+// request runs the full plan-estimate enumeration through the pool.
+func BenchmarkServiceEstimateCacheMiss(b *testing.B) {
+	benchEstimate(b, EstimateRequest{Catalog: "tpch", SQL: tpchQ6, NoCache: true})
+}
+
+// BenchmarkServiceOptimize measures a full admitted optimization (no
+// budget set, so admission is a no-op).
+func BenchmarkServiceOptimize(b *testing.B) {
+	srv := New(Config{Workers: 4})
+	ctx := context.Background()
+	req := OptimizeRequest{Catalog: "tpch", SQL: tpchQ3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Optimize(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"cote/internal/core"
+	"cote/internal/lru"
+	"cote/internal/opt"
+	"cote/internal/query"
+)
+
+// EstimateCache is a goroutine-safe bounded LRU of estimation results,
+// keyed by the structural statement signature (core.Signature) plus the
+// options that change the estimate: catalog, level and node count. It
+// replaces ad-hoc reuse of the unbounded StatementCache on the serving
+// path: estimates are deterministic for a given (signature, options) pair,
+// so a hit saves the whole enumeration pass.
+//
+// Cached estimates are stored without a time prediction — the server's
+// model can be recalibrated at any moment, so PredictedTime is recomputed
+// from the cached counts on every response rather than frozen at insert.
+type EstimateCache struct {
+	mu     sync.Mutex
+	lru    *lru.Cache[string, *core.Estimate]
+	hits   int64
+	misses int64
+}
+
+// NewEstimateCache returns an empty cache evicting beyond capacity entries.
+func NewEstimateCache(capacity int) *EstimateCache {
+	return &EstimateCache{lru: lru.New[string, *core.Estimate](capacity)}
+}
+
+// EstimateKey builds the cache key for a query under the given options.
+func EstimateKey(catalogName string, level opt.Level, nodes int, blk *query.Block) string {
+	return fmt.Sprintf("%s|%d|%d|%s", catalogName, level, nodes, core.Signature(blk))
+}
+
+// Get returns the cached estimate for the key. Callers must not mutate the
+// returned Estimate; copy it first (the server does, to fill predictions).
+func (c *EstimateCache) Get(key string) (*core.Estimate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.lru.Get(key)
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// Put stores an estimate under the key.
+func (c *EstimateCache) Put(key string, e *core.Estimate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Put(key, e)
+}
+
+// Stats returns hit/miss counts and the current size and capacity.
+func (c *EstimateCache) Stats() (hits, misses int64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len(), c.lru.Cap()
+}

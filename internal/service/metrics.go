@@ -1,0 +1,158 @@
+package service
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic monotonically increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by one.
+func (c *Counter) Add() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a lock-free latency histogram over power-of-two microsecond
+// buckets: bucket i counts observations in [2^(i-1), 2^i) µs. Thirty-two
+// buckets cover sub-microsecond to over an hour.
+type Histogram struct {
+	buckets [32]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) from the
+// bucket boundaries, as a duration. Zero observations yield zero.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			// Upper bucket boundary: 2^i - 1 µs (bucket 0 holds [0, 1) µs).
+			return time.Duration((int64(1)<<i)-1) * time.Microsecond
+		}
+	}
+	return time.Duration((int64(1)<<len(h.buckets))-1) * time.Microsecond
+}
+
+// snapshot is the JSON form of a histogram.
+type histogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  int64   `json:"p50_us"`
+	P90US  int64   `json:"p90_us"`
+	P99US  int64   `json:"p99_us"`
+}
+
+func (h *Histogram) snapshot() histogramSnapshot {
+	s := histogramSnapshot{
+		Count: h.count.Load(),
+		P50US: h.Quantile(0.50).Microseconds(),
+		P90US: h.Quantile(0.90).Microseconds(),
+		P99US: h.Quantile(0.99).Microseconds(),
+	}
+	if s.Count > 0 {
+		s.MeanUS = float64(h.sumUS.Load()) / float64(s.Count)
+	}
+	return s
+}
+
+// Metrics is the server's observability surface: request counters per
+// endpoint, latency histograms for the two heavy paths, estimate-cache and
+// admission outcomes, and load-shedding counters. GET /metrics renders a
+// snapshot as plain JSON (stdlib only, expvar-style).
+type Metrics struct {
+	start time.Time
+
+	EstimateRequests  Counter
+	OptimizeRequests  Counter
+	CalibrateRequests Counter
+	CatalogUploads    Counter
+	Errors            Counter
+
+	EstimateLatency Histogram
+	OptimizeLatency Histogram
+
+	CacheHits   Counter
+	CacheMisses Counter
+
+	AdmissionAccepted   Counter
+	AdmissionRejected   Counter
+	AdmissionDowngraded Counter
+	AdmissionBypassed   Counter
+
+	QueueRejected Counter
+	Timeouts      Counter
+}
+
+// NewMetrics returns zeroed metrics with the uptime clock started.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// Snapshot renders every metric, plus the live pool and cache gauges, as a
+// JSON-marshalable map.
+func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache) map[string]any {
+	waiting, running := pool.Depth()
+	_, _, size, capacity := cache.Stats()
+	return map[string]any{
+		"uptime_seconds": int64(time.Since(m.start).Seconds()),
+		"requests": map[string]int64{
+			"estimate":        m.EstimateRequests.Value(),
+			"optimize":        m.OptimizeRequests.Value(),
+			"calibrate":       m.CalibrateRequests.Value(),
+			"catalog_uploads": m.CatalogUploads.Value(),
+			"errors":          m.Errors.Value(),
+		},
+		"latency": map[string]any{
+			"estimate": m.EstimateLatency.snapshot(),
+			"optimize": m.OptimizeLatency.snapshot(),
+		},
+		"estimate_cache": map[string]int64{
+			"hits":     m.CacheHits.Value(),
+			"misses":   m.CacheMisses.Value(),
+			"size":     int64(size),
+			"capacity": int64(capacity),
+		},
+		"admission": map[string]int64{
+			"accepted":   m.AdmissionAccepted.Value(),
+			"rejected":   m.AdmissionRejected.Value(),
+			"downgraded": m.AdmissionDowngraded.Value(),
+			"bypassed":   m.AdmissionBypassed.Value(),
+		},
+		"pool": map[string]int64{
+			"workers":        int64(pool.Workers()),
+			"running":        running,
+			"queued":         waiting,
+			"queue_rejected": m.QueueRejected.Value(),
+			"timeouts":       m.Timeouts.Value(),
+		},
+	}
+}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull reports that the pool's waiting line is at capacity; the
+// server maps it to 503 so load sheds at the door instead of queueing
+// unboundedly.
+var ErrQueueFull = errors.New("service: worker pool queue full")
+
+// Pool bounds the number of concurrently running optimizer/estimator calls
+// and the number of requests allowed to wait for a slot. Compilation work
+// is CPU-bound, so the worker count defaults to GOMAXPROCS in the server;
+// anything beyond workers+queue in flight is rejected immediately.
+type Pool struct {
+	slots    chan struct{}
+	maxQueue int64
+	// inflight counts admitted requests from entry until their work
+	// completes; running counts those actually holding a worker slot.
+	inflight atomic.Int64
+	running  atomic.Int64
+}
+
+// NewPool returns a pool of the given worker and waiting-line sizes
+// (values below 1 are raised to 1).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	return &Pool{slots: make(chan struct{}, workers), maxQueue: int64(queue)}
+}
+
+// Workers returns the number of worker slots.
+func (p *Pool) Workers() int { return cap(p.slots) }
+
+// Depth returns the current waiting and running request counts.
+func (p *Pool) Depth() (waiting, running int64) {
+	r := p.running.Load()
+	w := p.inflight.Load() - r
+	if w < 0 {
+		w = 0
+	}
+	return w, r
+}
+
+// Run executes fn on the pool: it waits for a worker slot (or gives up when
+// ctx expires or the waiting line is full) and runs fn in a fresh
+// goroutine. When ctx expires mid-run the call returns ctx.Err()
+// immediately, but the underlying work — which has no cancellation points
+// inside the optimizer — runs to completion in the background and only then
+// frees its slot, so the concurrency bound always holds.
+func Run[T any](p *Pool, ctx context.Context, fn func() (T, error)) (T, error) {
+	var zero T
+	if p.inflight.Add(1) > int64(cap(p.slots))+p.maxQueue {
+		p.inflight.Add(-1)
+		return zero, ErrQueueFull
+	}
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		p.inflight.Add(-1)
+		return zero, ctx.Err()
+	}
+	p.running.Add(1)
+
+	type result struct {
+		v   T
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		defer func() {
+			p.running.Add(-1)
+			p.inflight.Add(-1)
+			<-p.slots
+		}()
+		v, err := fn()
+		done <- result{v, err}
+	}()
+	select {
+	case r := <-done:
+		return r.v, r.err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}

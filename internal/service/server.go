@@ -1,0 +1,584 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"cote/internal/core"
+	"cote/internal/cost"
+	"cote/internal/opt"
+	"cote/internal/query"
+	"cote/internal/sqlparser"
+	"cote/internal/workload"
+)
+
+// Config parameterizes the server. The zero value is usable: GOMAXPROCS
+// workers, a 4x waiting line, 30s request timeout, a 1024-entry estimate
+// cache, and admission control disabled until a budget is set or a model
+// is calibrated.
+type Config struct {
+	// Workers bounds concurrently running estimations/optimizations
+	// (default GOMAXPROCS — the work is CPU-bound).
+	Workers int
+	// Queue bounds requests waiting for a worker (default 4*Workers).
+	Queue int
+	// RequestTimeout bounds one estimate/optimize request, queueing
+	// included (default 30s; negative disables).
+	RequestTimeout time.Duration
+	// CacheCapacity sizes the estimate cache (default 1024).
+	CacheCapacity int
+	// Budget is the admission controller's compilation-time budget for
+	// POST /v1/optimize: requests whose predicted compilation time exceeds
+	// it are rejected or downgraded. Zero disables admission control.
+	Budget time.Duration
+	// Downgrade makes the admission controller retry cheaper levels
+	// instead of rejecting over-budget requests.
+	Downgrade bool
+	// Model seeds the compilation-time model; POST /v1/calibrate replaces
+	// it at runtime.
+	Model *core.TimeModel
+}
+
+// DefaultRequestTimeout bounds estimate/optimize requests when Config
+// leaves RequestTimeout zero.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Server is the estimation service: the registry, pool, cache, metrics and
+// model behind the HTTP API. Its exported request methods are usable
+// without HTTP (the benchmarks drive them directly).
+type Server struct {
+	cfg      Config
+	registry *Registry
+	pool     *Pool
+	cache    *EstimateCache
+	metrics  *Metrics
+
+	mu    sync.RWMutex
+	model *core.TimeModel
+}
+
+// New returns a server with the config's defaults filled in.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4 * cfg.Workers
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 1024
+	}
+	return &Server{
+		cfg:      cfg,
+		registry: NewRegistry(),
+		pool:     NewPool(cfg.Workers, cfg.Queue),
+		cache:    NewEstimateCache(cfg.CacheCapacity),
+		metrics:  NewMetrics(),
+		model:    cfg.Model,
+	}
+}
+
+// Registry exposes the catalog registry (cmd/coted preloads schemas).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Metrics exposes the metrics (tests assert on them).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Model returns the current compilation-time model (nil before
+// calibration).
+func (s *Server) Model() *core.TimeModel {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.model
+}
+
+// SetModel replaces the compilation-time model.
+func (s *Server) SetModel(m *core.TimeModel) {
+	s.mu.Lock()
+	s.model = m
+	s.mu.Unlock()
+}
+
+// ParseLevel maps the wire names to optimization levels; the empty string
+// selects inner2, the level the paper's experiments run at.
+func ParseLevel(name string) (opt.Level, error) {
+	switch name {
+	case "", "inner2":
+		return opt.LevelHighInner2, nil
+	case "low", "greedy":
+		return opt.LevelLow, nil
+	case "leftdeep":
+		return opt.LevelMediumLeftDeep, nil
+	case "zigzag":
+		return opt.LevelMediumZigZag, nil
+	case "high":
+		return opt.LevelHigh, nil
+	}
+	return 0, fmt.Errorf("service: unknown level %q (want low, leftdeep, zigzag, inner2 or high)", name)
+}
+
+// LevelName is the wire name of a level (the inverse of ParseLevel).
+func LevelName(l opt.Level) string {
+	switch l {
+	case opt.LevelLow:
+		return "low"
+	case opt.LevelMediumLeftDeep:
+		return "leftdeep"
+	case opt.LevelMediumZigZag:
+		return "zigzag"
+	case opt.LevelHighInner2:
+		return "inner2"
+	case opt.LevelHigh:
+		return "high"
+	}
+	return l.String()
+}
+
+// apiError carries an HTTP status with a client-visible message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// parseRequest resolves the catalog, level and SQL shared by the estimate
+// and optimize requests.
+func (s *Server) parseRequest(catalogName, levelName, sql string) (*RegistryEntry, opt.Level, *query.Block, error) {
+	if catalogName == "" {
+		return nil, 0, nil, badRequest("missing catalog")
+	}
+	entry, err := s.registry.Get(catalogName)
+	if err != nil {
+		return nil, 0, nil, &apiError{status: http.StatusNotFound, msg: err.Error()}
+	}
+	level, err := ParseLevel(levelName)
+	if err != nil {
+		return nil, 0, nil, badRequest("%v", err)
+	}
+	if sql == "" {
+		return nil, 0, nil, badRequest("missing sql")
+	}
+	blk, err := sqlparser.Parse(sql, entry.Catalog)
+	if err != nil {
+		return nil, 0, nil, badRequest("parse: %v", err)
+	}
+	return entry, level, blk, nil
+}
+
+// estimateFor returns the estimate of one (query, level), through the
+// cache when useCache is set. Cached estimates carry no time prediction
+// (see EstimateCache); callers price them with the current model.
+func (s *Server) estimateFor(ctx context.Context, entry *RegistryEntry, blk *query.Block, level opt.Level, useCache bool) (*core.Estimate, bool, error) {
+	key := EstimateKey(entry.Name, level, entry.Config.Nodes, blk)
+	if useCache {
+		if e, ok := s.cache.Get(key); ok {
+			s.metrics.CacheHits.Add()
+			return e, true, nil
+		}
+		s.metrics.CacheMisses.Add()
+	}
+	est, err := Run(s.pool, ctx, func() (*core.Estimate, error) {
+		return core.EstimatePlans(blk, core.Options{Level: level, Config: entry.Config})
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if useCache {
+		s.cache.Put(key, est)
+	}
+	return est, false, nil
+}
+
+// requestCtx applies the configured per-request timeout.
+func (s *Server) requestCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.RequestTimeout)
+}
+
+// EstimateRequest is the body of POST /v1/estimate.
+type EstimateRequest struct {
+	Catalog string `json:"catalog"`
+	SQL     string `json:"sql"`
+	Level   string `json:"level,omitempty"`
+	NoCache bool   `json:"no_cache,omitempty"`
+}
+
+// EstimateResponse is the reply: the estimate plus cache provenance. The
+// predicted fields inside the estimate are filled from the server's
+// current model.
+type EstimateResponse struct {
+	Catalog  string         `json:"catalog"`
+	Level    string         `json:"level"`
+	Cached   bool           `json:"cached"`
+	Estimate *core.Estimate `json:"estimate"`
+}
+
+// Estimate runs the paper's plan-estimate mode for one request.
+func (s *Server) Estimate(ctx context.Context, req EstimateRequest) (*EstimateResponse, error) {
+	s.metrics.EstimateRequests.Add()
+	start := time.Now()
+	defer func() { s.metrics.EstimateLatency.Observe(time.Since(start)) }()
+
+	entry, level, blk, err := s.parseRequest(req.Catalog, req.Level, req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.requestCtx(ctx)
+	defer cancel()
+	est, cached, err := s.estimateFor(ctx, entry, blk, level, !req.NoCache)
+	if err != nil {
+		return nil, err
+	}
+	// Price a copy with the current model, leaving the cached entry
+	// prediction-free.
+	out := *est
+	out.PredictedTime = 0
+	if m := s.Model(); m != nil {
+		out.PredictedTime = m.Predict(out.Counts)
+	}
+	return &EstimateResponse{
+		Catalog:  entry.Name,
+		Level:    LevelName(level),
+		Cached:   cached,
+		Estimate: &out,
+	}, nil
+}
+
+// OptimizeRequest is the body of POST /v1/optimize.
+type OptimizeRequest struct {
+	Catalog string `json:"catalog"`
+	SQL     string `json:"sql"`
+	Level   string `json:"level,omitempty"`
+	// BudgetMS overrides the server's admission budget for this request
+	// (milliseconds; negative disables admission).
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// OnOverBudget overrides the over-budget behaviour: "reject" or
+	// "downgrade" (default: the server's configuration).
+	OnOverBudget string `json:"on_over_budget,omitempty"`
+}
+
+// OptimizeResponse is the reply: the admission decision and — unless
+// rejected — the chosen plan with its instrumentation.
+type OptimizeResponse struct {
+	Catalog   string             `json:"catalog"`
+	Level     string             `json:"level,omitempty"`
+	Admission *AdmissionDecision `json:"admission"`
+	Plan      string             `json:"plan,omitempty"`
+	Cost      float64            `json:"cost,omitempty"`
+	Rows      float64            `json:"rows,omitempty"`
+	ElapsedNS int64              `json:"elapsed_ns,omitempty"`
+	Counts    core.PlanCounts    `json:"plan_counts"`
+}
+
+// Optimize runs a real optimization behind admission control: the cheap
+// estimator prices the requested level first and the full compile runs
+// only within budget (Figure 1's meta-optimizer as a serving guardrail).
+func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeResponse, error) {
+	s.metrics.OptimizeRequests.Add()
+	start := time.Now()
+	defer func() { s.metrics.OptimizeLatency.Observe(time.Since(start)) }()
+
+	entry, level, blk, err := s.parseRequest(req.Catalog, req.Level, req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	budget := s.cfg.Budget
+	if req.BudgetMS != 0 {
+		budget = time.Duration(req.BudgetMS) * time.Millisecond
+	}
+	downgrade := s.cfg.Downgrade
+	switch req.OnOverBudget {
+	case "":
+	case "reject":
+		downgrade = false
+	case "downgrade":
+		downgrade = true
+	default:
+		return nil, badRequest("unknown on_over_budget %q (want reject or downgrade)", req.OnOverBudget)
+	}
+	ctx, cancel := s.requestCtx(ctx)
+	defer cancel()
+
+	predict := func(l opt.Level) (time.Duration, bool, error) {
+		m := s.Model()
+		if m == nil {
+			return 0, false, nil
+		}
+		est, _, err := s.estimateFor(ctx, entry, blk, l, true)
+		if err != nil {
+			return 0, false, err
+		}
+		return m.Predict(est.Counts), true, nil
+	}
+	dec, err := admit(level, budget, downgrade, predict)
+	if err != nil {
+		return nil, err
+	}
+	resp := &OptimizeResponse{Catalog: entry.Name, Admission: dec}
+	switch dec.Action {
+	case AdmitAccept:
+		s.metrics.AdmissionAccepted.Add()
+	case AdmitBypass:
+		s.metrics.AdmissionBypassed.Add()
+	case AdmitDowngrade:
+		s.metrics.AdmissionDowngraded.Add()
+	case AdmitReject:
+		s.metrics.AdmissionRejected.Add()
+		return resp, nil
+	}
+	admitted, err := ParseLevel(dec.AdmittedLevel)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(s.pool, ctx, func() (*opt.Result, error) {
+		return opt.Optimize(blk, opt.Options{Level: admitted, Config: entry.Config})
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.Level = LevelName(admitted)
+	resp.Plan = res.Plan.String()
+	resp.Cost = res.Plan.Cost
+	resp.Rows = res.Plan.Card
+	resp.ElapsedNS = res.Elapsed.Nanoseconds()
+	resp.Counts = core.CountsFrom(res.TotalCounters())
+	return resp, nil
+}
+
+// CalibrateRequest is the body of POST /v1/calibrate: fit the time model
+// on a named built-in workload.
+type CalibrateRequest struct {
+	// Workload is one of linear, star, random, real1, real2, tpch.
+	Workload string `json:"workload"`
+	// Nodes selects the serial (1, default) or 4-node parallel variant.
+	Nodes int `json:"nodes,omitempty"`
+}
+
+// CalibrateResponse reports the fitted model.
+type CalibrateResponse struct {
+	Workload string `json:"workload"`
+	Points   int    `json:"points"`
+	Model    string `json:"model"`
+}
+
+// namedWorkload builds a calibration workload by name. Each call builds
+// fresh query blocks, so concurrent calibrations do not share state.
+func namedWorkload(name string, nodes int) (*workload.Workload, error) {
+	switch name {
+	case "linear":
+		return workload.Linear(nodes), nil
+	case "star":
+		return workload.Star(nodes), nil
+	case "random":
+		return workload.Random(42, 12, 10, nodes), nil
+	case "real1":
+		return workload.Real1(nodes), nil
+	case "real2":
+		return workload.Real2(nodes), nil
+	case "tpch":
+		return workload.TPCH(nodes), nil
+	}
+	return nil, badRequest("unknown workload %q (want linear, star, random, real1, real2 or tpch)", name)
+}
+
+// Calibrate compiles a named workload for real at two levels, fits the
+// per-method constants (core.Calibrate), and installs the model for
+// admission control and predictions. The compilations run through the
+// worker pool one query at a time, so a calibration shares the process
+// fairly with serving traffic.
+func (s *Server) Calibrate(ctx context.Context, req CalibrateRequest) (*CalibrateResponse, error) {
+	s.metrics.CalibrateRequests.Add()
+	nodes := req.Nodes
+	if nodes == 0 {
+		nodes = 1
+	}
+	if nodes != 1 && nodes != 4 {
+		return nil, badRequest("nodes must be 1 or 4, got %d", nodes)
+	}
+	w, err := namedWorkload(req.Workload, nodes)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cost.Serial
+	if nodes > 1 {
+		cfg = cost.Parallel4
+	}
+	var training []core.TrainingPoint
+	for _, q := range w.Queries {
+		// Two levels per query decorrelate the per-method counts, keeping
+		// the regression well conditioned (as experiments.TrainModel does).
+		for _, level := range []opt.Level{opt.LevelHighInner2, opt.LevelMediumLeftDeep} {
+			res, err := Run(s.pool, ctx, func() (*opt.Result, error) {
+				return opt.Optimize(q.Block, opt.Options{Level: level, Config: cfg})
+			})
+			if err != nil {
+				return nil, fmt.Errorf("calibrate %s: %w", q.Name, err)
+			}
+			training = append(training, core.TrainingPointFrom(res.TotalCounters(), res.Elapsed))
+		}
+	}
+	model, err := core.Calibrate(training)
+	if err != nil {
+		return nil, badRequest("calibration failed: %v", err)
+	}
+	s.SetModel(model)
+	return &CalibrateResponse{Workload: w.Name, Points: len(training), Model: model.String()}, nil
+}
+
+// --- HTTP layer ---
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/estimate   estimate a query's compilation
+//	POST /v1/optimize   optimize behind admission control
+//	POST /v1/calibrate  fit the time model on a named workload
+//	GET  /v1/catalogs   list registered catalogs
+//	POST /v1/catalogs   upload a JSON catalog
+//	GET  /metrics       JSON metrics snapshot
+//	GET  /healthz       liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/calibrate", s.handleCalibrate)
+	mux.HandleFunc("GET /v1/catalogs", s.handleCatalogList)
+	mux.HandleFunc("POST /v1/catalogs", s.handleCatalogUpload)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// maxBodyBytes bounds request bodies (catalog uploads included).
+const maxBodyBytes = 1 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps service errors to HTTP statuses.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.metrics.Errors.Add()
+	status := http.StatusInternalServerError
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		status = ae.status
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusServiceUnavailable
+		s.metrics.QueueRejected.Add()
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+		s.metrics.Timeouts.Add()
+	case errors.Is(err, context.Canceled):
+		status = 499 // client went away
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.Estimate(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.Optimize(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	status := http.StatusOK
+	if resp.Admission != nil && resp.Admission.Action == AdmitReject {
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
+	var req CalibrateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.Calibrate(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCatalogList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"catalogs": s.registry.List()})
+}
+
+func (s *Server) handleCatalogUpload(w http.ResponseWriter, r *http.Request) {
+	var def CatalogDef
+	if err := decodeJSON(w, r, &def); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	entry, err := s.registry.Register(def)
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	s.metrics.CatalogUploads.Add()
+	writeJSON(w, http.StatusCreated, CatalogInfo{
+		Name:    entry.Name,
+		Tables:  entry.Catalog.NumTables(),
+		Nodes:   entry.Config.Nodes,
+		BuiltIn: false,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.cache))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
