@@ -7,10 +7,12 @@
 //
 //	coted [-addr :8334] [-workers N] [-queue N] [-timeout 30s]
 //	      [-cache 1024] [-budget 0] [-downgrade] [-calibrate star]
+//	      [-parallelism N] [-pprof]
 //
 // Endpoints: POST /v1/estimate, POST /v1/optimize, POST /v1/calibrate,
-// GET/POST /v1/catalogs, GET /metrics, GET /healthz. See the README's
-// "Running the coted server" section for curl examples.
+// GET/POST /v1/catalogs, GET /metrics, GET /healthz, and — with -pprof —
+// GET /debug/pprof/*. See the README's "Running the coted server" section
+// for curl examples.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -31,23 +34,27 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8334", "listen address")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS/parallelism)")
 	queue := flag.Int("queue", 0, "max requests waiting for a worker (0 = 4x workers)")
 	timeout := flag.Duration("timeout", 0, "per-request timeout (0 = 30s, negative = none)")
 	cacheCap := flag.Int("cache", 1024, "estimate cache capacity (entries)")
 	budget := flag.Duration("budget", 0, "admission budget: reject/downgrade optimizations predicted to compile longer than this (0 = off)")
 	downgrade := flag.Bool("downgrade", false, "downgrade over-budget optimizations to a cheaper level instead of rejecting")
 	calibrate := flag.String("calibrate", "", "calibrate the time model on this workload at startup (linear, star, random, real1, real2, tpch)")
+	parallelism := flag.Int("parallelism", 1, "max intra-query parallelism per optimize request (workers default shrinks to compensate)")
+	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof endpoints for profiling")
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Workers:        *workers,
 		Queue:          *queue,
 		RequestTimeout: *timeout,
 		CacheCapacity:  *cacheCap,
 		Budget:         *budget,
 		Downgrade:      *downgrade,
-	})
+		MaxParallelism: *parallelism,
+	}
+	srv := service.New(cfg)
 
 	if *calibrate != "" {
 		log.Printf("calibrating time model on workload %q ...", *calibrate)
@@ -61,9 +68,15 @@ func main() {
 		log.Printf("warning: -budget set without -calibrate; admission bypasses until POST /v1/calibrate installs a model")
 	}
 
+	handler := srv.Handler()
+	if *pprofFlag {
+		handler = withPprof(handler)
+		log.Print("pprof enabled at /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(srv.Handler()),
+		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -77,19 +90,41 @@ func main() {
 		_ = httpSrv.Shutdown(ctx)
 	}()
 
-	log.Printf("coted listening on %s (workers=%d)", *addr, srvWorkers(*workers))
+	log.Printf("coted listening on %s (workers=%d, parallelism<=%d)", *addr, srvWorkers(*workers, *parallelism), *parallelism)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "coted: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// withPprof mounts the net/http/pprof handlers on the service mux. The
+// service uses its own mux, so the profile endpoints are registered here
+// explicitly instead of relying on the package's DefaultServeMux side
+// effects.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
+}
+
 // srvWorkers mirrors the server's worker default for the startup log line.
-func srvWorkers(flagValue int) int {
+func srvWorkers(flagValue, parallelism int) int {
 	if flagValue > 0 {
 		return flagValue
 	}
-	return runtime.GOMAXPROCS(0)
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	w := runtime.GOMAXPROCS(0) / parallelism
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // logRequests logs one line per request: method, path, status, duration.

@@ -51,6 +51,9 @@ type MOP struct {
 	// Static marks a statically compiled (repeatedly executed) query; the
 	// paper suggests spending more on those, modeled as a 10x threshold.
 	Static bool
+	// Parallelism is forwarded to the real compilations (both levels); the
+	// estimation pass is unaffected — it is already cheap and serial.
+	Parallelism int
 }
 
 // Run executes the meta-optimization loop on a query and returns the chosen
@@ -73,7 +76,7 @@ func (m *MOP) Run(blk *query.Block) (*opt.Result, *MOPDecision, error) {
 		threshold *= 10
 	}
 
-	low, err := opt.Optimize(blk, opt.Options{Level: opt.LevelLow, Config: m.Config})
+	low, err := opt.Optimize(blk, opt.Options{Level: opt.LevelLow, Config: m.Config, Parallelism: m.Parallelism})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -93,7 +96,7 @@ func (m *MOP) Run(blk *query.Block) (*opt.Result, *MOPDecision, error) {
 	if float64(dec.HighCompileEstimate) < threshold*float64(dec.LowPlanExecCost) {
 		dec.Recompiled = true
 		dec.FinalLevel = high
-		result, err = opt.Optimize(blk, opt.Options{Level: high, Config: m.Config})
+		result, err = opt.Optimize(blk, opt.Options{Level: high, Config: m.Config, Parallelism: m.Parallelism})
 		if err != nil {
 			return nil, nil, err
 		}

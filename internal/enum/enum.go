@@ -132,75 +132,97 @@ func (en *Enumerator) Run(hooks Hooks) (Stats, error) {
 	var st Stats
 	n := en.blk.NumTables()
 
+	en.runBase(&st, hooks)
+	for k := 2; k <= n; k++ {
+		en.scanSizeClass(k, &st, hooks, func(outer, inner, result *memo.Entry) {
+			if hooks.Join != nil {
+				hooks.Join(outer, inner, result)
+			}
+		})
+		en.completeSize(k, hooks)
+	}
+	return st, en.checkRoot()
+}
+
+// runBase creates the single-table MEMO entries and completes size class 1 —
+// the start of every enumeration, serial or parallel.
+func (en *Enumerator) runBase(st *Stats, hooks Hooks) {
+	n := en.blk.NumTables()
 	for t := 0; t < n; t++ {
 		e := en.createEntry(bitset.Single(t), hooks)
 		st.Entries++
 		e.OuterEligible = en.singleOuterEligible(t)
 	}
-	if hooks.Complete != nil {
-		for _, e := range en.mem.OfSize(1) {
-			hooks.Complete(e)
-		}
-	}
+	en.completeSize(1, hooks)
+}
 
-	for k := 2; k <= n; k++ {
-		for i := 1; i <= k/2; i++ {
-			j := k - i
-			smaller := en.mem.OfSize(i)
-			larger := en.mem.OfSize(j)
-			for si, S := range smaller {
-				for li, L := range larger {
-					if i == j && li <= si {
-						continue // unordered pairs once
-					}
-					if S.Tables.Overlaps(L.Tables) {
-						continue
-					}
-					if !en.joinable(S, L) {
-						continue
-					}
-					union := S.Tables.Union(L.Tables)
-					if !en.validSet(union) {
-						continue
-					}
-					emitSL := en.orientationAllowed(S, L)
-					emitLS := en.orientationAllowed(L, S)
-					if !emitSL && !emitLS {
-						continue
-					}
-					result := en.mem.Entry(union)
-					if result == nil {
-						result = en.createJoinEntry(union, S, L, hooks)
-						st.Entries++
-					}
-					st.Pairs++
-					if emitSL {
-						st.Joins++
-						if hooks.Join != nil {
-							hooks.Join(S, L, result)
-						}
-					}
-					if emitLS {
-						st.Joins++
-						if hooks.Join != nil {
-							hooks.Join(L, S, result)
-						}
-					}
+// scanSizeClass walks the candidate (outer, inner) pairs of size class k in
+// the canonical dynamic-programming order, materializing result entries and
+// counting stats, and calls emit once per admitted ordered join. Both the
+// serial Run (emit = invoke the Join hook) and the parallel driver (emit =
+// buffer a task) share this scan, so the set and order of enumerated joins
+// are identical by construction.
+func (en *Enumerator) scanSizeClass(k int, st *Stats, hooks Hooks, emit func(outer, inner, result *memo.Entry)) {
+	for i := 1; i <= k/2; i++ {
+		j := k - i
+		smaller := en.mem.OfSize(i)
+		larger := en.mem.OfSize(j)
+		for si, S := range smaller {
+			for li, L := range larger {
+				if i == j && li <= si {
+					continue // unordered pairs once
+				}
+				if S.Tables.Overlaps(L.Tables) {
+					continue
+				}
+				if !en.joinable(S, L) {
+					continue
+				}
+				union := S.Tables.Union(L.Tables)
+				if !en.validSet(union) {
+					continue
+				}
+				emitSL := en.orientationAllowed(S, L)
+				emitLS := en.orientationAllowed(L, S)
+				if !emitSL && !emitLS {
+					continue
+				}
+				result := en.mem.Entry(union)
+				if result == nil {
+					result = en.createJoinEntry(union, S, L, hooks)
+					st.Entries++
+				}
+				st.Pairs++
+				if emitSL {
+					st.Joins++
+					emit(S, L, result)
+				}
+				if emitLS {
+					st.Joins++
+					emit(L, S, result)
 				}
 			}
 		}
-		if hooks.Complete != nil {
-			for _, e := range en.mem.OfSize(k) {
-				hooks.Complete(e)
-			}
-		}
 	}
+}
 
+// completeSize fires the Complete hook for every entry of size k.
+func (en *Enumerator) completeSize(k int, hooks Hooks) {
+	if hooks.Complete == nil {
+		return
+	}
+	for _, e := range en.mem.OfSize(k) {
+		hooks.Complete(e)
+	}
+}
+
+// checkRoot verifies that enumeration reached the full table set.
+func (en *Enumerator) checkRoot() error {
 	if en.mem.Entry(en.blk.AllTables()) == nil {
-		return st, fmt.Errorf("enum: query %q not fully joinable under %v/%v (disconnected graph?)",
+		return fmt.Errorf("enum: query %q not fully joinable under %v/%v (disconnected graph?)",
 			en.blk.Name, en.opts.Shape, en.opts.Cartesian)
 	}
-	return st, nil
+	return nil
 }
 
 // createEntry materializes the MEMO entry for s with its logical properties

@@ -1,0 +1,137 @@
+// Parallel dynamic-programming driver.
+//
+// The DP round has a natural dependency structure: generating plans for a
+// size-k MEMO entry reads only entries of size < k, which are final once
+// the previous rounds finished. Within one size class, therefore, every
+// enumerated join can be *generated* (costed) independently — the ~75% of
+// compile time the paper's Figure 2 attributes to join-method cost
+// estimation — while *committing* plans into the MEMO (pruning, pilot
+// bound) stays order-sensitive. The driver exploits exactly that split:
+//
+//  1. scan the size class serially (cheap bitset work), materializing
+//     result entries and a task list in the canonical DP order;
+//  2. fan the tasks out to a bounded worker set, each generating plans
+//     into worker-local buffers;
+//  3. barrier, then replay every task's buffered plans in the canonical
+//     order of step 1, committing them into the MEMO.
+//
+// Because commit order equals the serial enumeration order and generation
+// reads only immutable state, a parallel run produces bit-identical plans,
+// costs, counters and statistics to the serial enumerator — enforced by
+// TestParallelOptimizeMatchesSerial. The barrier must sit at the size-class
+// boundary: joins of size k+1 read the *pruned* plan lists of size k, which
+// exist only after every size-k commit (and the Complete enforcer pass) ran.
+package enum
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cote/internal/memo"
+)
+
+// GenerateFunc generates plans for one enumerated ordered join into
+// worker-local buffers. It runs on exactly one worker goroutine at a time,
+// concurrently with other workers' GenerateFuncs, and must not touch shared
+// mutable state.
+type GenerateFunc func(task int, outer, inner, result *memo.Entry)
+
+// CommitFunc replays the plans a worker buffered for one task into the
+// MEMO. Commits are issued from the driver goroutine only, in globally
+// increasing task order, after all generation for the size class finished.
+type CommitFunc func(task int)
+
+// ParallelHooks drive the parallel DP round. Init and Complete have the
+// same contract as Hooks (both run on the driver goroutine); NewWorker is
+// called once per worker up front and returns that worker's generate/commit
+// pair.
+type ParallelHooks struct {
+	Init      func(e *memo.Entry)
+	Complete  func(e *memo.Entry)
+	NewWorker func() (GenerateFunc, CommitFunc)
+}
+
+// serialThreshold is the task count below which a size class runs inline on
+// the driver: forking goroutines for a handful of joins costs more than it
+// saves. The generate/commit split is used either way, so the result is
+// identical.
+const serialThreshold = 8
+
+type joinTask struct {
+	outer, inner, result *memo.Entry
+}
+
+// RunParallel enumerates like Run, fanning each size class's join
+// generation out to at most workers goroutines. The Stats returned and
+// every MEMO mutation are identical to Run driving the equivalent serial
+// hooks.
+func (en *Enumerator) RunParallel(hooks ParallelHooks, workers int) (Stats, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	var st Stats
+	n := en.blk.NumTables()
+	serial := Hooks{Init: hooks.Init, Complete: hooks.Complete}
+
+	gens := make([]GenerateFunc, workers)
+	commits := make([]CommitFunc, workers)
+	for w := range gens {
+		gens[w], commits[w] = hooks.NewWorker()
+	}
+
+	en.runBase(&st, serial)
+
+	var tasks []joinTask // reused across size classes
+	var owner []int32    // task index -> worker that generated it
+	for k := 2; k <= n; k++ {
+		tasks = tasks[:0]
+		en.scanSizeClass(k, &st, serial, func(outer, inner, result *memo.Entry) {
+			tasks = append(tasks, joinTask{outer, inner, result})
+		})
+
+		switch {
+		case len(tasks) == 0:
+		case len(tasks) < serialThreshold || workers == 1:
+			for t := range tasks {
+				gens[0](t, tasks[t].outer, tasks[t].inner, tasks[t].result)
+				commits[0](t)
+			}
+		default:
+			if cap(owner) < len(tasks) {
+				owner = make([]int32, len(tasks))
+			}
+			owner = owner[:len(tasks)]
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			active := workers
+			if active > len(tasks) {
+				active = len(tasks)
+			}
+			for w := 0; w < active; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					gen := gens[w]
+					for {
+						t := int(next.Add(1)) - 1
+						if t >= len(tasks) {
+							return
+						}
+						owner[t] = int32(w)
+						tk := tasks[t]
+						gen(t, tk.outer, tk.inner, tk.result)
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Replay in canonical task order; each task's plans were
+			// buffered by exactly one worker.
+			for t := range tasks {
+				commits[owner[t]](t)
+			}
+		}
+
+		en.completeSize(k, serial)
+	}
+	return st, en.checkRoot()
+}

@@ -145,7 +145,11 @@ type Entry struct {
 type Memo struct {
 	entries map[bitset.Set]*Entry
 	bySize  [][]*Entry
-	nplans  int
+	// sorted caches the Entries() snapshot; GetOrCreate invalidates it, so
+	// hot consumers (plan counting, serialization, diagnostics) sort once
+	// after enumeration instead of once per call.
+	sorted []*Entry
+	nplans int
 	// PipelineMatters makes pipelineability a pruning-relevant property:
 	// a non-pipelined plan can no longer dominate a pipelined one. Set by
 	// the optimizer for FETCH FIRST queries.
@@ -173,6 +177,7 @@ func (m *Memo) GetOrCreate(s bitset.Set) (e *Entry, created bool) {
 	e = &Entry{Tables: s, OuterEligible: true}
 	m.entries[s] = e
 	m.bySize[s.Len()] = append(m.bySize[s.Len()], e)
+	m.sorted = nil // invalidate the Entries() snapshot
 	return e, true
 }
 
@@ -195,8 +200,18 @@ func (m *Memo) NumEntries() int { return len(m.entries) }
 func (m *Memo) NumPlans() int { return m.nplans }
 
 // Entries returns all entries ordered by set size then set value
-// (deterministic).
+// (deterministic). The returned slice is a cached snapshot, rebuilt only
+// after a GetOrCreate invalidated it; callers must not mutate it.
 func (m *Memo) Entries() []*Entry {
+	if m.sorted == nil {
+		m.sorted = m.sortEntries()
+	}
+	return m.sorted
+}
+
+// sortEntries builds the size-then-set-value ordering from scratch — the
+// work Entries once redid on every call.
+func (m *Memo) sortEntries() []*Entry {
 	out := make([]*Entry, 0, len(m.entries))
 	for _, group := range m.bySize {
 		g := append([]*Entry(nil), group...)

@@ -263,3 +263,51 @@ func TestQuickMemoInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEntriesSnapshotInvalidation(t *testing.T) {
+	m := New(3)
+	m.GetOrCreate(bitset.Of(1))
+	m.GetOrCreate(bitset.Of(0))
+	first := m.Entries()
+	if len(first) != 2 || first[0].Tables != bitset.Of(0) || first[1].Tables != bitset.Of(1) {
+		t.Fatalf("Entries not sorted by set value: %v", first)
+	}
+	if again := m.Entries(); &again[0] != &first[0] {
+		t.Fatal("Entries rebuilt the snapshot without an intervening GetOrCreate")
+	}
+	m.GetOrCreate(bitset.Of(0, 1)) // invalidates
+	all := m.Entries()
+	if len(all) != 3 || all[2].Tables != bitset.Of(0, 1) {
+		t.Fatalf("Entries missed the new entry after invalidation: %v", all)
+	}
+}
+
+// BenchmarkEntries measures the cached-snapshot lookup against the sort the
+// method once redid on every call (rebuild case included for contrast).
+func BenchmarkEntries(b *testing.B) {
+	const n = 12
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.GetOrCreate(bitset.Of(i, j))
+		}
+	}
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		m.Entries() // warm
+		for i := 0; i < b.N; i++ {
+			if len(m.Entries()) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.sorted = nil
+			if len(m.Entries()) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}

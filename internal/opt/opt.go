@@ -110,6 +110,23 @@ type Options struct {
 	// CartesianPolicy overrides the enumerator's Cartesian handling
 	// (default: the card-one heuristic).
 	CartesianPolicy enum.CartesianPolicy
+	// Parallelism is the number of worker goroutines the DP round may fan
+	// join generation out to. Values <= 1 select the serial driver. Values
+	// above GOMAXPROCS are allowed (useful for exercising the parallel
+	// driver on small machines) but buy nothing; callers wanting a sensible
+	// default should pass runtime.GOMAXPROCS(0). Parallel and serial runs
+	// produce bit-identical plans, costs and statistics (only the wall
+	// clock and the GenTime timers — which become summed worker CPU time —
+	// differ).
+	Parallelism int
+}
+
+// effectiveParallelism floors the knob at 1 (serial).
+func (o Options) effectiveParallelism() int {
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // BlockResult is the outcome of optimizing one query block.
@@ -254,7 +271,17 @@ func optimizeBlock(blk *query.Block, opts Options) (*BlockResult, error) {
 
 	eopts := opts.Level.EnumOptions()
 	eopts.Cartesian = opts.CartesianPolicy
-	st, err := enum.New(blk, mem, card, eopts).Run(gen.Hooks())
+	en := enum.New(blk, mem, card, eopts)
+	var st enum.Stats
+	var err error
+	if workers := opts.effectiveParallelism(); workers > 1 {
+		sc.MarkShared()
+		hooks, finishGen := gen.ParallelHooks()
+		st, err = en.RunParallel(hooks, workers)
+		finishGen()
+	} else {
+		st, err = en.Run(gen.Hooks())
+	}
 	if err != nil {
 		return nil, err
 	}

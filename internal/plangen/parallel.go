@@ -1,0 +1,104 @@
+package plangen
+
+import (
+	"cote/internal/enum"
+	"cote/internal/memo"
+)
+
+// taskSeg marks the end (exclusive, into the worker's plan buffer) of the
+// plans one task generated.
+type taskSeg struct {
+	task, end int
+}
+
+// genWorker is one parallel DP worker: a forked Generator running in sink
+// mode, buffering (result, plan) pairs per task, plus the replay state the
+// driver's serialized commit phase walks through.
+//
+// The driver claims tasks for a worker in increasing task order and replays
+// commits in globally increasing task order, so a single cursor over segs
+// suffices — no per-task lookup.
+type genWorker struct {
+	g       *Generator
+	results []*memo.Entry
+	plans   []*memo.Plan
+	segs    []taskSeg
+	cur     int // next segment to commit
+	done    int // plans already committed
+}
+
+// fork clones the generator for one worker goroutine: shared immutable block
+// state (scope, MEMO pointer, cost config, cardinality estimator), private
+// counters, arena and scratch buffers, and a sink capturing generated plans
+// instead of committing them.
+func (g *Generator) fork() *genWorker {
+	w := &genWorker{}
+	w.g = &Generator{
+		blk:      g.blk,
+		sc:       g.sc,
+		mem:      g.mem,
+		card:     g.card,
+		cfg:      g.cfg,
+		policy:   g.policy,
+		parallel: g.parallel,
+		bound:    g.bound,
+	}
+	w.g.sink = func(result *memo.Entry, p *memo.Plan) {
+		w.results = append(w.results, result)
+		w.plans = append(w.plans, p)
+	}
+	return w
+}
+
+// generate runs the full (read-only) plan generation for one enumerated join
+// on this worker, recording the task boundary for replay.
+func (w *genWorker) generate(task int, outer, inner, result *memo.Entry) {
+	w.g.joinEntry(outer, inner, result)
+	w.segs = append(w.segs, taskSeg{task: task, end: len(w.plans)})
+}
+
+// commit replays the plans buffered for one task into the MEMO. It runs on
+// the driver goroutine only, in globally increasing task order, which makes
+// every MEMO mutation identical to a serial run.
+func (w *genWorker) commit(task int) {
+	if w.cur >= len(w.segs) || w.segs[w.cur].task != task {
+		panic("plangen: out-of-order parallel commit")
+	}
+	end := w.segs[w.cur].end
+	w.cur++
+	for i := w.done; i < end; i++ {
+		w.g.commitJoin(w.results[i], w.plans[i])
+		w.results[i], w.plans[i] = nil, nil // release for the arena/GC
+	}
+	w.done = end
+	if w.done == len(w.plans) {
+		// Size-class drained: reset the buffers so they are reused instead of
+		// growing across rounds.
+		w.results, w.plans, w.segs = w.results[:0], w.plans[:0], w.segs[:0]
+		w.cur, w.done = 0, 0
+	}
+}
+
+// ParallelHooks returns the hooks driving this generator under the parallel
+// enumerator, plus a finish func that must be called after RunParallel
+// returns to fold the workers' counters back into g.Counters. Init and
+// Complete run on the driver goroutine and use g directly; join generation
+// is forked per worker.
+func (g *Generator) ParallelHooks() (enum.ParallelHooks, func()) {
+	var workers []*genWorker
+	hooks := enum.ParallelHooks{
+		Init:     g.initEntry,
+		Complete: g.completeEntry,
+		NewWorker: func() (enum.GenerateFunc, enum.CommitFunc) {
+			w := g.fork()
+			workers = append(workers, w)
+			return w.generate, w.commit
+		},
+	}
+	finish := func() {
+		for _, w := range workers {
+			g.Counters.merge(&w.g.Counters)
+		}
+	}
+	return hooks, finish
+}

@@ -53,6 +53,21 @@ func (c *Counters) TotalGenerated() int {
 	return t
 }
 
+// merge folds another worker's counters into c. Counts sum exactly; the
+// timer sums become aggregate CPU time rather than wall time when the
+// counters came from concurrent workers.
+func (c *Counters) merge(o *Counters) {
+	for m := range c.Generated {
+		c.Generated[m] += o.Generated[m]
+		c.GenTime[m] += o.GenTime[m]
+	}
+	c.AccessPlans += o.AccessPlans
+	c.EnforcerPlans += o.EnforcerPlans
+	c.PilotPruned += o.PilotPruned
+	c.SaveTime += o.SaveTime
+	c.AccessTime += o.AccessTime
+}
+
 // Options configures a Generator.
 type Options struct {
 	// Config selects the cost configuration (serial or parallel).
@@ -66,7 +81,10 @@ type Options struct {
 	PilotBound float64
 }
 
-// Generator produces plans when driven by the join enumerator's hooks.
+// Generator produces plans when driven by the join enumerator's hooks. One
+// Generator serves one goroutine; the parallel driver forks worker
+// generators (sharing the immutable block state, diverging in counters,
+// arena and scratch space) via ParallelHooks.
 type Generator struct {
 	blk      *query.Block
 	sc       *props.Scope
@@ -76,6 +94,26 @@ type Generator struct {
 	policy   props.GenerationPolicy
 	parallel bool
 	bound    float64
+
+	// arena batches Plan allocations and recycles MEMO-rejected plans.
+	arena planArena
+	// sink, when set, receives finalized join plans instead of committing
+	// them to the MEMO — the deferred-emission mode worker generators run
+	// in during the parallel DP round.
+	sink func(result *memo.Entry, p *memo.Plan)
+
+	// Per-goroutine scratch buffers, reused join over join so the steady
+	// state of one optimization allocates almost nothing.
+	ocBuf, icBuf  []query.ColID
+	jcBuf         []query.ColID
+	outsBuf       []props.Order
+	insBuf        []props.Order
+	emittedBuf    props.OrderList
+	nlOrdersBuf   props.OrderList
+	partsBuf      props.PartitionList
+	candPartsBuf  []props.Partition
+	completeParts props.PartitionList
+	completeOrds  props.OrderList
 
 	Counters Counters
 }
@@ -126,34 +164,40 @@ func (g *Generator) initEntry(e *memo.Entry) {
 	// they are pipelined. Expensive predicates are evaluated here (the
 	// apply-at-scan variant); a defer variant follows below.
 	expSel, expN := g.sc.ExpensiveSel(t)
-	g.savePlan(e, &memo.Plan{
+	p := g.arena.alloc()
+	*p = memo.Plan{
 		Op: memo.OpTableScan, Tables: e.Tables,
 		Cost: g.cfg.ScanCost(rows, fc) + g.cfg.ExpensivePredCost(rows, expN),
 		Card: fc, Part: part,
 		Pipelined: true,
-	})
+	}
+	g.savePlan(e, p)
 	if expN > 0 {
 		// Defer-past-joins variant (Table 1, row 5): cheaper to produce,
 		// more rows flow upward, and the finishing step pays the predicate
 		// cost on whatever survives the joins.
 		g.Counters.AccessPlans++
-		g.savePlan(e, &memo.Plan{
+		p := g.arena.alloc()
+		*p = memo.Plan{
 			Op: memo.OpTableScan, Tables: e.Tables,
 			Cost: g.cfg.ScanCost(rows, fc/expSel), Card: fc / expSel, Part: part,
 			Pipelined:   true,
 			DeferredExp: e.Tables,
-		})
+		}
+		g.savePlan(e, p)
 	}
 
 	// Index scans deliver their index order naturally.
 	for _, o := range g.sc.NaturalBaseOrders(t, e.Equiv) {
 		match := g.indexMatchRows(t, o, rows, fc)
-		g.savePlan(e, &memo.Plan{
+		p := g.arena.alloc()
+		*p = memo.Plan{
 			Op: memo.OpIndexScan, Tables: e.Tables,
 			Order: g.retireOrDeliver(o, e), Part: part,
 			Cost: g.cfg.IndexScanCost(rows, match), Card: fc,
 			Pipelined: true,
-		})
+		}
+		g.savePlan(e, p)
 	}
 	g.Counters.AccessPlans += len(e.Plans)
 
@@ -166,12 +210,14 @@ func (g *Generator) initEntry(e *memo.Entry) {
 				continue
 			}
 			g.Counters.EnforcerPlans++
-			g.savePlan(e, &memo.Plan{
+			p := g.arena.alloc()
+			*p = memo.Plan{
 				Op: memo.OpSort, Left: base, Tables: e.Tables,
 				Order: o, Part: part,
 				Cost: base.Cost + g.cfg.SortCost(fc)*sortWidthFactor(o),
 				Card: fc,
-			})
+			}
+			g.savePlan(e, p)
 		}
 	}
 	g.Counters.AccessTime += time.Since(start)
@@ -213,7 +259,8 @@ func (g *Generator) basePartition(t int) props.Partition {
 
 // joinEntry generates join plans for one enumerated (outer, inner) join.
 func (g *Generator) joinEntry(outer, inner, result *memo.Entry) {
-	outerCols, innerCols := g.sc.JoinColsBetween(outer.Tables, inner.Tables)
+	g.ocBuf, g.icBuf = g.sc.AppendJoinColsBetween(outer.Tables, inner.Tables, g.ocBuf[:0], g.icBuf[:0])
+	outerCols, innerCols := g.ocBuf, g.icBuf
 	candidates := g.candidatePartitions(outer, inner, result, outerCols, innerCols)
 	for _, pp := range candidates {
 		g.genNLJN(outer, inner, result, pp)
@@ -224,18 +271,26 @@ func (g *Generator) joinEntry(outer, inner, result *memo.Entry) {
 	}
 }
 
+// dcPartitions is the serial mode's single candidate execution partition;
+// callers only range over the returned slice, so one shared instance serves
+// every generator.
+var dcPartitions = []props.Partition{{}}
+
 // candidatePartitions returns the execution partitions of a join: every
 // distinct partition present among input plans whose keys are covered by the
 // join columns (a co-located execution), or — when none qualifies — a fresh
 // repartition on the join columns, DB2's heuristic reproduced as the paper's
 // Section 4 describes. Serial mode runs everything on the single don't-care
-// partition.
+// partition. The returned slice is scratch owned by g, valid until the next
+// joinEntry call.
 func (g *Generator) candidatePartitions(outer, inner, result *memo.Entry, outerCols, innerCols []query.ColID) []props.Partition {
 	if !g.parallel {
-		return []props.Partition{{}}
+		return dcPartitions
 	}
-	joinCols := append(append([]query.ColID(nil), outerCols...), innerCols...)
-	var list props.PartitionList
+	g.jcBuf = append(append(g.jcBuf[:0], outerCols...), innerCols...)
+	joinCols := g.jcBuf
+	list := &g.partsBuf
+	list.Reset()
 	for _, e := range []*memo.Entry{outer, inner} {
 		for _, p := range e.Plans {
 			if p.Part.Empty() {
@@ -248,11 +303,14 @@ func (g *Generator) candidatePartitions(outer, inner, result *memo.Entry, outerC
 	}
 	if list.Len() == 0 {
 		if len(outerCols) > 0 {
-			return []props.Partition{props.PartitionOn(g.cfg.Nodes, outerCols...)}
+			// Interned: the partition escapes into stored plans, so it must
+			// not alias the outerCols scratch buffer.
+			g.candPartsBuf = append(g.candPartsBuf[:0], g.sc.Intern().Partition(g.cfg.Nodes, outerCols))
+			return g.candPartsBuf
 		}
 		// Cartesian product: no co-location key; run on the don't-care
 		// distribution (inner replicated).
-		return []props.Partition{{}}
+		return dcPartitions
 	}
 	return list.Partitions()
 }
@@ -304,7 +362,8 @@ func (g *Generator) genNLJN(outer, inner, result *memo.Entry, pp props.Partition
 		g.emitJoin(result, memo.OpNLJN, po, ip,
 			g.cfg.NLJNCost(po.Cost+repart, po.Card, ip.Cost+innerExtra, ip.Card, result.Card),
 			props.Order{}, pp)
-		var orders props.OrderList
+		orders := &g.nlOrdersBuf
+		orders.Reset()
 		for _, p := range outer.Plans {
 			if p.Order.Empty() || p.OrderKnownRetired {
 				continue
@@ -337,6 +396,24 @@ func MergeCandidates(outerCols, innerCols []query.ColID) (outs, ins []props.Orde
 	return outs, ins
 }
 
+// mergeCandidates is the generator's allocation-lean MergeCandidates: the
+// candidate orders are interned (they escape into stored plans) and the
+// slices are per-generator scratch, valid until the next call.
+func (g *Generator) mergeCandidates(outerCols, innerCols []query.ColID) (outs, ins []props.Order) {
+	in := g.sc.Intern()
+	outs, ins = g.outsBuf[:0], g.insBuf[:0]
+	for i := range outerCols {
+		outs = append(outs, in.Order1(outerCols[i]))
+		ins = append(ins, in.Order1(innerCols[i]))
+	}
+	if len(outerCols) > 1 {
+		outs = append(outs, in.Order(outerCols))
+		ins = append(ins, in.Order(innerCols))
+	}
+	g.outsBuf, g.insBuf = outs, ins
+	return outs, ins
+}
+
 // genMGJN generates sort-merge plans on partition pp: one enforced plan per
 // merge candidate order (eager policy — inputs are sorted when not
 // naturally ordered), plus one coverage plan per outer plan whose order
@@ -345,9 +422,10 @@ func MergeCandidates(outerCols, innerCols []query.ColID) (outs, ins []props.Orde
 // any more general o1 as well).
 func (g *Generator) genMGJN(outer, inner, result *memo.Entry, pp props.Partition, outerCols, innerCols []query.ColID) {
 	defer g.timeMethod(props.MGJN)()
-	outs, ins := MergeCandidates(outerCols, innerCols)
+	outs, ins := g.mergeCandidates(outerCols, innerCols)
 
-	var emitted props.OrderList // output orders already produced for this join
+	emitted := &g.emittedBuf // output orders already produced for this join
+	emitted.Reset()
 	for i := range outs {
 		if !emitted.Add(outs[i], result.Equiv) {
 			continue // equivalent predicates collapse to one merge order
@@ -472,14 +550,16 @@ func (g *Generator) timeMethod(m props.JoinMethod) func() {
 	}
 }
 
-// emitJoin finalizes one generated join plan: counts it, applies the pilot
-// bound, and saves it. Pipelineability follows Table 1's rule through the
-// propagation classes: an NLJN streams with its outer; merge and hash joins
-// block (eager sorts and hash builds materialize).
+// emitJoin finalizes one generated join plan: counts it, constructs it from
+// the arena, and either hands it to the sink (parallel generation phase) or
+// commits it immediately (serial mode). Pipelineability follows Table 1's
+// rule through the propagation classes: an NLJN streams with its outer;
+// merge and hash joins block (eager sorts and hash builds materialize).
 func (g *Generator) emitJoin(result *memo.Entry, op memo.Operator, left, right *memo.Plan, planCost float64, order props.Order, pp props.Partition) {
 	m := op.JoinMethod()
 	g.Counters.Generated[m]++
-	p := &memo.Plan{
+	p := g.arena.alloc()
+	*p = memo.Plan{
 		Op: op, Left: left, Right: right, Tables: result.Tables,
 		Order: order, Part: pp, Cost: planCost, Card: result.Card,
 		Pipelined: props.PipelinePropagation(m) == props.Full && left != nil && left.Pipelined,
@@ -498,6 +578,18 @@ func (g *Generator) emitJoin(result *memo.Entry, op memo.Operator, left, right *
 	if !order.Empty() && !g.sc.OrderUseful(order, result.Tables, result.Equiv) {
 		p.OrderKnownRetired = true
 	}
+	if g.sink != nil {
+		g.sink(result, p)
+		return
+	}
+	g.commitJoin(result, p)
+}
+
+// commitJoin applies the order-sensitive half of emitJoin: the pilot bound
+// check and MEMO insertion. In the parallel DP round it runs on the driver
+// goroutine, replayed in the canonical enumeration order, so its reads of
+// result.Plans see exactly the state a serial run would.
+func (g *Generator) commitJoin(result *memo.Entry, p *memo.Plan) {
 	// The pilot bound never prunes an entry's only plan: the dynamic
 	// program needs at least one plan per entry to proceed (the paper's
 	// pilot-pass discussion assumes most partial plans stay under the full
@@ -505,21 +597,27 @@ func (g *Generator) emitJoin(result *memo.Entry, op memo.Operator, left, right *
 	// it wholesale). A plan that ordinary property-aware pruning would have
 	// discarded anyway is not charged to the pilot pass — the paper's <=10%
 	// figure counts the plans the bound removes on top of normal pruning.
-	if g.bound > 0 && planCost > g.bound && len(result.Plans) > 0 {
+	if g.bound > 0 && p.Cost > g.bound && len(result.Plans) > 0 {
 		if !g.mem.Dominated(result, p) {
 			g.Counters.PilotPruned++
 		}
+		g.arena.recycle(p)
 		return
 	}
 	saveStart := time.Now()
-	g.mem.InsertPlan(result, p)
+	if !g.mem.InsertPlan(result, p) {
+		g.arena.recycle(p) // rejected on arrival: provably unreferenced
+	}
 	g.Counters.SaveTime += time.Since(saveStart)
 }
 
-// savePlan inserts a non-join plan with save-time accounting.
+// savePlan inserts a non-join plan with save-time accounting, recycling it
+// when the MEMO rejects it on arrival.
 func (g *Generator) savePlan(e *memo.Entry, p *memo.Plan) {
 	start := time.Now()
-	g.mem.InsertPlan(e, p)
+	if !g.mem.InsertPlan(e, p) {
+		g.arena.recycle(p)
+	}
 	g.Counters.SaveTime += time.Since(start)
 }
 
@@ -534,7 +632,8 @@ func (g *Generator) completeEntry(e *memo.Entry) {
 	}
 	start := time.Now()
 	// Distinct partitions present.
-	var parts props.PartitionList
+	parts := &g.completeParts
+	parts.Reset()
 	hasDC := false
 	for _, p := range e.Plans {
 		if p.Part.Empty() {
@@ -545,7 +644,8 @@ func (g *Generator) completeEntry(e *memo.Entry) {
 	}
 	// Interesting orders present on some plan (origin of orders stays at
 	// the base tables; this pass only spreads them across partitions).
-	var orders props.OrderList
+	orders := &g.completeOrds
+	orders.Reset()
 	for _, p := range e.Plans {
 		if !p.Order.Empty() && !p.OrderKnownRetired {
 			orders.Add(p.Order, e.Equiv)
@@ -572,12 +672,14 @@ func (g *Generator) completeEntry(e *memo.Entry) {
 				continue
 			}
 			g.Counters.EnforcerPlans++
-			g.savePlan(e, &memo.Plan{
+			p := g.arena.alloc()
+			*p = memo.Plan{
 				Op: memo.OpSort, Left: src, Tables: e.Tables,
 				Order: o, Part: pp,
 				Cost: src.Cost + g.cfg.SortCost(src.Card)*sortWidthFactor(o),
 				Card: src.Card,
-			})
+			}
+			g.savePlan(e, p)
 		}
 	}
 	g.Counters.AccessTime += time.Since(start)

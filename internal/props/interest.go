@@ -1,6 +1,8 @@
 package props
 
 import (
+	"sync"
+
 	"cote/internal/bitset"
 	"cote/internal/catalog"
 	"cote/internal/query"
@@ -45,20 +47,39 @@ func (i Interest) Any() bool { return i.FutureJoin || i.OrderBy || i.GroupBy }
 
 // Scope answers interest and retirement questions for one query block and
 // generates the initial interesting-property lists of base tables. It is
-// immutable after construction and shared by the real optimizer and the
-// estimator, so both see the same property universe.
+// logically immutable after construction (internal memoization is
+// goroutine-safe) and shared by the real optimizer, the estimator, and all
+// workers of the parallel DP round, so every party sees the same property
+// universe.
 type Scope struct {
 	blk *query.Block
 	// eqPreds holds indexes of equality join predicates.
 	eqPreds []int
+	// shared marks a scope about to be used from several goroutines (the
+	// parallel DP round); it routes fjCache accesses through fjMu. Single-
+	// goroutine users — the whole estimation path and serial compiles —
+	// skip the lock: OrderUseful sits under every generated plan, and even
+	// an uncontended RWMutex is measurable there. Set once, before any
+	// worker goroutine exists.
+	shared bool
+	// fjMu guards fjCache when shared: the parallel DP round asks interest
+	// questions from several workers at once.
+	fjMu sync.RWMutex
 	// fjCache memoizes futureJoinCols per table set; interest questions are
 	// asked many times per MEMO entry on hot paths of both modes.
 	fjCache map[bitset.Set][]query.ColID
+	// intern canonicalizes the property values this block's plans carry.
+	// Embedded by value (its maps grow lazily), so scopes that never intern
+	// — the whole estimation path — pay nothing for it.
+	intern Interner
 }
 
 // NewScope builds the interest analyzer for a finalized block.
 func NewScope(blk *query.Block) *Scope {
-	sc := &Scope{blk: blk, fjCache: make(map[bitset.Set][]query.ColID)}
+	sc := &Scope{
+		blk:     blk,
+		fjCache: make(map[bitset.Set][]query.ColID),
+	}
 	for i, p := range blk.JoinPreds {
 		if p.Op == query.Eq {
 			sc.eqPreds = append(sc.eqPreds, i)
@@ -70,11 +91,26 @@ func NewScope(blk *query.Block) *Scope {
 // Block returns the underlying query block.
 func (sc *Scope) Block() *query.Block { return sc.blk }
 
+// Intern returns the scope's property interner.
+func (sc *Scope) Intern() *Interner { return &sc.intern }
+
+// MarkShared switches the scope's internal memoization to its locked mode.
+// It must be called before the scope is handed to concurrent workers and
+// cannot be undone.
+func (sc *Scope) MarkShared() { sc.shared = true }
+
 // futureJoinCols returns the columns inside s that participate in equality
 // join predicates crossing the boundary of s — the columns a future merge
 // join or co-located parallel join could exploit.
 func (sc *Scope) futureJoinCols(s bitset.Set) []query.ColID {
-	if cols, ok := sc.fjCache[s]; ok {
+	if sc.shared {
+		sc.fjMu.RLock()
+		cols, ok := sc.fjCache[s]
+		sc.fjMu.RUnlock()
+		if ok {
+			return cols
+		}
+	} else if cols, ok := sc.fjCache[s]; ok {
 		return cols
 	}
 	out := []query.ColID{}
@@ -88,7 +124,13 @@ func (sc *Scope) futureJoinCols(s bitset.Set) []query.ColID {
 			out = append(out, p.Right)
 		}
 	}
-	sc.fjCache[s] = out
+	if sc.shared {
+		sc.fjMu.Lock()
+		sc.fjCache[s] = out
+		sc.fjMu.Unlock()
+	} else {
+		sc.fjCache[s] = out
+	}
 	return out
 }
 
@@ -332,6 +374,14 @@ func (sc *Scope) colOf(ref *query.TableRef, name string) query.ColID {
 // inner-side columns, index-aligned. Merge joins sort on these; parallel
 // joins co-locate on them.
 func (sc *Scope) JoinColsBetween(outer, inner bitset.Set) (outerCols, innerCols []query.ColID) {
+	return sc.AppendJoinColsBetween(outer, inner, nil, nil)
+}
+
+// AppendJoinColsBetween is JoinColsBetween appending into caller-owned
+// buffers (passed with len 0), for the allocation-lean generation hot path
+// where the column pairs are consumed within the call and the buffers are
+// reused join over join.
+func (sc *Scope) AppendJoinColsBetween(outer, inner bitset.Set, outerCols, innerCols []query.ColID) ([]query.ColID, []query.ColID) {
 	blk := sc.blk
 	for _, i := range sc.eqPreds {
 		p := blk.JoinPreds[i]

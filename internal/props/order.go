@@ -140,6 +140,10 @@ type OrderList struct {
 // Orders exposes the underlying slice; callers must not mutate it.
 func (l *OrderList) Orders() []Order { return l.orders }
 
+// Reset empties the list, keeping its capacity — for allocation-free reuse
+// as a per-join dedup scratchpad on the plan-generation hot path.
+func (l *OrderList) Reset() { l.orders = l.orders[:0] }
+
 // Len returns the number of orders in the list.
 func (l *OrderList) Len() int { return len(l.orders) }
 

@@ -126,6 +126,10 @@ type PartitionList struct {
 // Partitions exposes the underlying slice; callers must not mutate it.
 func (l *PartitionList) Partitions() []Partition { return l.parts }
 
+// Reset empties the list, keeping its capacity — for allocation-free reuse
+// as a per-join dedup scratchpad on the plan-generation hot path.
+func (l *PartitionList) Reset() { l.parts = l.parts[:0] }
+
 // Len returns the number of partitions in the list.
 func (l *PartitionList) Len() int { return len(l.parts) }
 

@@ -25,6 +25,9 @@ func (b *Block) EquivWithin(s bitset.Set) *Equiv {
 			uf.union(int(p.Left), int(p.Right))
 		}
 	}
+	// Flatten so lookups are O(1) and, crucially, read-only: one Equiv is
+	// shared by all workers of the parallel DP round.
+	uf.flatten()
 	return &Equiv{uf: uf}
 }
 

@@ -474,9 +474,12 @@ func (b *Block) IsConnected(s bitset.Set) bool {
 }
 
 // unionFind is a minimal union-find over column ids used by the transitive
-// closure and the per-entry equivalence classes. Path compression alone
-// keeps the trees shallow at these sizes; dropping the rank array halves the
-// allocation on the MEMO hot path, where one instance is built per entry.
+// closure and the per-entry equivalence classes. find performs no path
+// compression, so a fully built instance can be read from many goroutines
+// at once (the parallel DP round shares one Equiv per MEMO entry across its
+// workers); callers that are done with unions call flatten once to make
+// every subsequent find O(1). Dropping the rank array halves the allocation
+// on the MEMO hot path, where one instance is built per entry.
 type unionFind struct {
 	parent []int32
 }
@@ -491,7 +494,6 @@ func newUnionFind(n int) *unionFind {
 
 func (u *unionFind) find(x int) int {
 	for int(u.parent[x]) != x {
-		u.parent[x] = u.parent[u.parent[x]]
 		x = int(u.parent[x])
 	}
 	return x
@@ -501,5 +503,14 @@ func (u *unionFind) union(a, b int) {
 	ra, rb := u.find(a), u.find(b)
 	if ra != rb {
 		u.parent[rb] = int32(ra)
+	}
+}
+
+// flatten points every element directly at its root. Roots are unchanged,
+// so representatives stay stable; the structure becomes immutable (and
+// therefore safe to share across goroutines) until the next union.
+func (u *unionFind) flatten() {
+	for i := range u.parent {
+		u.parent[i] = int32(u.find(i))
 	}
 }

@@ -43,6 +43,12 @@ type Config struct {
 	// Model seeds the compilation-time model; POST /v1/calibrate replaces
 	// it at runtime.
 	Model *core.TimeModel
+	// MaxParallelism caps the per-request intra-query parallelism of
+	// POST /v1/optimize (the DP round's worker fan-out). Zero or one keeps
+	// every compile serial. When above one and Workers is left zero, the
+	// worker pool defaults to GOMAXPROCS/MaxParallelism so that concurrent
+	// requests times per-request workers never oversubscribes the machine.
+	MaxParallelism int
 }
 
 // DefaultRequestTimeout bounds estimate/optimize requests when Config
@@ -65,8 +71,14 @@ type Server struct {
 
 // New returns a server with the config's defaults filled in.
 func New(cfg Config) *Server {
+	if cfg.MaxParallelism < 1 {
+		cfg.MaxParallelism = 1
+	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
+		cfg.Workers = runtime.GOMAXPROCS(0) / cfg.MaxParallelism
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
 	}
 	if cfg.Queue <= 0 {
 		cfg.Queue = 4 * cfg.Workers
@@ -271,6 +283,9 @@ type OptimizeRequest struct {
 	// OnOverBudget overrides the over-budget behaviour: "reject" or
 	// "downgrade" (default: the server's configuration).
 	OnOverBudget string `json:"on_over_budget,omitempty"`
+	// Parallelism requests intra-query parallel enumeration for this
+	// compile, clamped to [1, Config.MaxParallelism]. Zero means serial.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // OptimizeResponse is the reply: the admission decision and — unless
@@ -346,8 +361,15 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 	if err != nil {
 		return nil, err
 	}
+	parallelism := req.Parallelism
+	if parallelism > s.cfg.MaxParallelism {
+		parallelism = s.cfg.MaxParallelism
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
 	res, err := Run(s.pool, ctx, func() (*opt.Result, error) {
-		return opt.Optimize(blk, opt.Options{Level: admitted, Config: entry.Config})
+		return opt.Optimize(blk, opt.Options{Level: admitted, Config: entry.Config, Parallelism: parallelism})
 	})
 	if err != nil {
 		return nil, err

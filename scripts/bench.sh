@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the repo benchmarks and gate them against the committed
+# baseline (BENCH_cote.json) via cmd/benchjson.
+#
+#   scripts/bench.sh                 run full suite, compare vs baseline
+#   scripts/bench.sh -update         run full suite, rewrite BENCH_cote.json
+#   scripts/bench.sh -smoke          one fast iteration per benchmark and a
+#                                    structural compare only (what CI runs:
+#                                    every baselined benchmark must still
+#                                    exist and parse, wall-clock not judged)
+#
+# Environment overrides:
+#   COUNT      runs per benchmark, median kept   (default 5; smoke: 1)
+#   BENCH      -bench regex                      (default .)
+#   TOLERANCE  allowed fractional regression     (default 0.25)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCH="${BENCH:-.}"
+TOLERANCE="${TOLERANCE:-0.25}"
+BASELINE=BENCH_cote.json
+
+mode=compare
+for arg in "$@"; do
+  case "$arg" in
+    -update) mode=update ;;
+    -smoke)  mode=smoke ;;
+    *) echo "usage: $0 [-update|-smoke]" >&2; exit 2 ;;
+  esac
+done
+
+extra=()
+if [ "$mode" = smoke ]; then
+  COUNT=1
+  extra=(-benchtime 1x)
+fi
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+echo "== go test -run NONE -bench $BENCH -benchmem -count $COUNT ${extra[*]:-} ." >&2
+go test -run NONE -bench "$BENCH" -benchmem -count "$COUNT" "${extra[@]}" . | tee "$out" >&2
+
+case "$mode" in
+  update)
+    go run ./cmd/benchjson < "$out" > "$BASELINE"
+    echo "wrote $BASELINE"
+    ;;
+  compare)
+    go run ./cmd/benchjson -compare "$BASELINE" -tolerance "$TOLERANCE" < "$out"
+    ;;
+  smoke)
+    go run ./cmd/benchjson -compare "$BASELINE" -structural < "$out"
+    ;;
+esac
