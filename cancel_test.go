@@ -1,0 +1,190 @@
+// Cancellation contract of the execution context: an expired or cancelled
+// context stops an in-flight compile promptly at enumeration granularity (no
+// plan is half-committed, no goroutine is left behind), a generated-plan
+// budget aborts with ErrBudgetExceeded, and an unexpired context changes
+// nothing — OptimizeCtx(Background) is bit-identical to Optimize. Run under
+// -race this file doubles as the race gate for the cancellation paths.
+package cote_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"cote"
+	"cote/internal/cost"
+	"cote/internal/experiments"
+	"cote/internal/opt"
+	"cote/internal/workload"
+)
+
+// heavyQuery is the 14-table, 3-view real2 query — the longest compile in the
+// built-in workloads at the experiments level (~tens of ms), long enough that
+// a cancellation arriving early must visibly cut it short.
+func heavyQuery() workload.Query {
+	return workload.Real2(4).Queries[7]
+}
+
+func TestCancelledContextStopsOptimize(t *testing.T) {
+	q := heavyQuery()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: the compile must stop at its first check
+	for _, par := range []int{0, 4} {
+		start := time.Now()
+		res, err := opt.OptimizeCtx(ctx, q.Block, opt.Options{Level: experiments.Level, Config: cost.Parallel4, Parallelism: par})
+		elapsed := time.Since(start)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism=%d: err = %v, want context.Canceled (res=%v)", par, err, res != nil)
+		}
+		// Generous bound: a full compile is ~tens of ms, so even a slow CI
+		// machine returns orders of magnitude inside this if cancellation
+		// short-circuits the work at all.
+		if elapsed > 2*time.Second {
+			t.Errorf("parallelism=%d: took %v to notice a pre-cancelled context", par, elapsed)
+		}
+	}
+}
+
+func TestMidFlightCancelStopsOptimize(t *testing.T) {
+	q := heavyQuery()
+	for _, par := range []int{0, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := opt.OptimizeCtx(ctx, q.Block, opt.Options{Level: experiments.Level, Config: cost.Parallel4, Parallelism: par})
+			done <- err
+		}()
+		time.Sleep(time.Millisecond) // let the enumeration get going
+		cancel()
+		select {
+		case err := <-done:
+			// err == nil means the compile beat the cancel — possible on a
+			// fast machine, and not a cancellation bug.
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("parallelism=%d: err = %v, want context.Canceled or nil", par, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("parallelism=%d: compile did not return after cancel", par)
+		}
+	}
+}
+
+func TestDeadlineStopsOptimize(t *testing.T) {
+	q := heavyQuery()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := opt.OptimizeCtx(ctx, q.Block, opt.Options{Level: experiments.Level, Config: cost.Parallel4})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Skip("compile finished inside the 2ms deadline; machine too fast for this probe")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("took %v to honor a 2ms deadline", elapsed)
+	}
+}
+
+// TestCancelLeavesNoGoroutines pins the parallel driver's cleanup: cancelling
+// mid-flight must not strand workers. Goroutine counts are compared with a
+// GC-and-retry loop because the runtime retires goroutines asynchronously.
+func TestCancelLeavesNoGoroutines(t *testing.T) {
+	q := heavyQuery()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		_, _ = opt.OptimizeCtx(ctx, q.Block, opt.Options{Level: experiments.Level, Config: cost.Parallel4, Parallelism: 4})
+		cancel()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after cancelled parallel compiles", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestOptimizeCtxBackgroundIsDeterministic: an execution context that never
+// fires must be invisible — same fingerprint as the plain entry point, serial
+// and parallel.
+func TestOptimizeCtxBackgroundIsDeterministic(t *testing.T) {
+	q := heavyQuery()
+	for _, par := range []int{0, 4} {
+		opts := opt.Options{Level: experiments.Level, Config: cost.Parallel4, Parallelism: par}
+		plain, err := opt.Optimize(q.Block, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxed, err := opt.OptimizeCtx(context.Background(), q.Block, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := fingerprintOf(ctxed), fingerprintOf(plain); got != want {
+			t.Errorf("parallelism=%d: OptimizeCtx(Background) diverges from Optimize:\n got %+v\nwant %+v", par, got, want)
+		}
+	}
+}
+
+func TestPlanBudgetAborts(t *testing.T) {
+	q := heavyQuery()
+	oc := cote.NewExecContext(context.Background())
+	oc.SetPlanBudget(100) // the query generates thousands of join plans
+	_, err := cote.OptimizeWith(oc, q.Block, cote.OptimizeOptions{Level: experiments.Level, Config: cote.Parallel4})
+	if !errors.Is(err, cote.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	gen, _ := oc.Progress()
+	if gen <= 100 {
+		t.Errorf("generated counter %d; expected it to pass the budget before tripping", gen)
+	}
+}
+
+// TestProgressMeter: with a predicted total installed, OnProgress observes a
+// monotonically nondecreasing generated count and the final count matches the
+// compile's own counters (join plans only; access/enforcer plans tick outside
+// the per-join hook). Serial compile: with parallel workers the hook fires
+// concurrently and per-call ordering is not part of the contract.
+func TestProgressMeter(t *testing.T) {
+	q := heavyQuery()
+	var last int64
+	mono := true
+	oc := cote.NewExecContext(context.Background()).WithHooks(cote.ExecHooks{
+		OnProgress: func(generated, predicted int64) {
+			if generated < last {
+				mono = false
+			}
+			last = generated
+		},
+	})
+	oc.SetPredictedPlans(1_000_000)
+	res, err := cote.OptimizeWith(oc, q.Block, cote.OptimizeOptions{Level: experiments.Level, Config: cote.Parallel4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mono {
+		t.Error("OnProgress saw a decreasing generated count")
+	}
+	if last == 0 {
+		t.Fatal("OnProgress never fired")
+	}
+	var joinGen int64
+	for _, n := range res.TotalCounters().Generated {
+		joinGen += int64(n)
+	}
+	gen, pred := oc.Progress()
+	if pred != 1_000_000 {
+		t.Errorf("predicted = %d, want the installed 1000000", pred)
+	}
+	if gen != joinGen {
+		t.Errorf("final generated counter %d, compile generated %d join plans", gen, joinGen)
+	}
+}

@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	cotebench [-fig all|2|4a|4b|4c|5a|5d|5g|6a|6b|6c|6d|6e|6f|ct|joinbaseline|pilot|mem|piggyback|ablations] [-seed N]
+//	cotebench [-fig all|2|4a|4b|4c|5a|5d|5g|6a|6b|6c|6d|6e|6f|ct|joinbaseline|pilot|mem|piggyback|ablations] [-seed N] [-timeout 0]
+//
+// -timeout bounds the whole suite: the deadline is checked between figures
+// and inside the repeated-compile loops, so an overrunning run stops with a
+// clear error instead of hanging a CI job.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,15 +33,27 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure/table id to regenerate, or 'all'")
 	seed := flag.Int64("seed", 42, "seed of the random workload generator")
+	timeout := flag.Duration("timeout", 0, "deadline for the whole suite (0 = none)")
 	flag.Parse()
 
-	s := newSuite(*seed)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	s := newSuite(*seed, ctx)
 	ids := strings.Split(*fig, ",")
 	if *fig == "all" {
 		ids = []string{"2", "4a", "4b", "4c", "5a", "5d", "5g", "6a", "6b", "6c", "6d", "6e", "6f",
 			"ct", "joinbaseline", "pilot", "mem", "piggyback", "ablations", "pipeline", "cache", "parallel"}
 	}
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "cotebench: suite timeout before figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
 		if err := s.run(strings.TrimSpace(id)); err != nil {
 			fmt.Fprintf(os.Stderr, "cotebench: figure %s: %v\n", id, err)
 			os.Exit(1)
@@ -47,13 +64,15 @@ func main() {
 // suite caches workloads and calibrated models across figures.
 type suite struct {
 	seed      int64
+	ctx       context.Context // bounds the whole suite (-timeout)
 	workloads map[string]*workload.Workload
 	models    map[string]*core.TimeModel // "s" and "p"
 }
 
-func newSuite(seed int64) *suite {
+func newSuite(seed int64, ctx context.Context) *suite {
 	return &suite{
 		seed:      seed,
+		ctx:       ctx,
 		workloads: map[string]*workload.Workload{},
 		models:    map[string]*core.TimeModel{},
 	}
@@ -196,13 +215,13 @@ func (s *suite) parallel() error {
 			continue
 		}
 		q := w.Queries[qs.idx]
-		serialRes, serialT, err := bestOf(3, q, opt.Options{Level: experiments.Level})
+		serialRes, serialT, err := bestOf(s.ctx, 3, q, opt.Options{Level: experiments.Level})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-20s %12v", qs.wl+"/"+q.Name, serialT.Round(time.Microsecond))
 		for _, d := range degrees {
-			res, t, err := bestOf(3, q, opt.Options{Level: experiments.Level, Parallelism: d})
+			res, t, err := bestOf(s.ctx, 3, q, opt.Options{Level: experiments.Level, Parallelism: d})
 			if err != nil {
 				return err
 			}
@@ -218,13 +237,14 @@ func (s *suite) parallel() error {
 	return nil
 }
 
-// bestOf compiles a query n times and returns the fastest run.
-func bestOf(n int, q workload.Query, opts opt.Options) (*opt.Result, time.Duration, error) {
+// bestOf compiles a query n times under the suite deadline and returns the
+// fastest run.
+func bestOf(ctx context.Context, n int, q workload.Query, opts opt.Options) (*opt.Result, time.Duration, error) {
 	var best *opt.Result
 	bestT := time.Duration(1<<63 - 1)
 	for i := 0; i < n; i++ {
 		t0 := time.Now()
-		res, err := opt.Optimize(q.Block, opts)
+		res, err := opt.OptimizeCtx(ctx, q.Block, opts)
 		if err != nil {
 			return nil, 0, err
 		}

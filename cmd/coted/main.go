@@ -6,13 +6,18 @@
 // Usage:
 //
 //	coted [-addr :8334] [-workers N] [-queue N] [-timeout 30s]
-//	      [-cache 1024] [-budget 0] [-downgrade] [-calibrate star]
-//	      [-parallelism N] [-pprof]
+//	      [-cache 1024] [-budget 0] [-budget-factor 0] [-downgrade]
+//	      [-calibrate star] [-parallelism N] [-grace 10s] [-pprof]
 //
 // Endpoints: POST /v1/estimate, POST /v1/optimize, POST /v1/calibrate,
-// GET/POST /v1/catalogs, GET /metrics, GET /healthz, and — with -pprof —
-// GET /debug/pprof/*. See the README's "Running the coted server" section
-// for curl examples.
+// GET/POST /v1/catalogs, GET /v1/progress, GET /metrics, GET /healthz, and
+// — with -pprof — GET /debug/pprof/*. See the README's "Running the coted
+// server" section for curl examples.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting,
+// lets in-flight requests drain for half the -grace period, then cancels
+// the remaining optimizations through their execution contexts and waits
+// out the rest of the grace period before exiting.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -39,9 +45,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request timeout (0 = 30s, negative = none)")
 	cacheCap := flag.Int("cache", 1024, "estimate cache capacity (entries)")
 	budget := flag.Duration("budget", 0, "admission budget: reject/downgrade optimizations predicted to compile longer than this (0 = off)")
+	budgetFactor := flag.Float64("budget-factor", 0, "abort a compile whose generated plans overrun the prediction by this factor (0 = off; needs a model)")
 	downgrade := flag.Bool("downgrade", false, "downgrade over-budget optimizations to a cheaper level instead of rejecting")
 	calibrate := flag.String("calibrate", "", "calibrate the time model on this workload at startup (linear, star, random, real1, real2, tpch)")
 	parallelism := flag.Int("parallelism", 1, "max intra-query parallelism per optimize request (workers default shrinks to compensate)")
+	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown window; in-flight work is cancelled halfway through")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof endpoints for profiling")
 	flag.Parse()
 
@@ -51,6 +59,7 @@ func main() {
 		RequestTimeout: *timeout,
 		CacheCapacity:  *cacheCap,
 		Budget:         *budget,
+		BudgetFactor:   *budgetFactor,
 		Downgrade:      *downgrade,
 		MaxParallelism: *parallelism,
 	}
@@ -74,18 +83,38 @@ func main() {
 		log.Print("pprof enabled at /debug/pprof/")
 	}
 
+	// Every request context derives from appCtx, so appCancel reaches the
+	// execution context of every in-flight optimization — cancelling them
+	// cooperatively is what makes a bounded shutdown possible at all.
+	appCtx, appCancel := context.WithCancel(context.Background())
+	defer appCancel()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return appCtx },
 	}
 
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("shutting down ...")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		gracePeriod := *grace
+		if gracePeriod <= 0 {
+			gracePeriod = time.Second
+		}
+		log.Printf("shutting down (grace %v) ...", gracePeriod)
+		// Stop accepting and give in-flight requests half the grace window
+		// to drain on their own; then cancel whatever is still running via
+		// the shared base context and wait out the rest.
+		halfway := time.AfterFunc(gracePeriod/2, func() {
+			log.Print("grace half over; cancelling in-flight optimizations ...")
+			appCancel()
+		})
+		defer halfway.Stop()
+		ctx, cancel := context.WithTimeout(context.Background(), gracePeriod)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
 	}()
@@ -95,6 +124,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "coted: %v\n", err)
 		os.Exit(1)
 	}
+	// ListenAndServe returns the moment Shutdown closes the listeners; the
+	// drain (and the mid-grace cancellation) is still in progress.
+	<-drained
+	log.Print("bye")
 }
 
 // withPprof mounts the net/http/pprof handlers on the service mux. The

@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	explain [-catalog tpch|warehouse1|warehouse2] [-nodes 1|4] [-level high|inner2|zigzag|leftdeep] 'SELECT ...'
+//	explain [-catalog tpch|warehouse1|warehouse2] [-nodes 1|4] [-level high|inner2|zigzag|leftdeep]
+//	        [-timeout 0] 'SELECT ...'
 //
-// With no query argument, a TPC-H demonstration query is used.
+// With no query argument, a TPC-H demonstration query is used. -timeout
+// bounds the whole run (compile + estimate); an expired deadline stops the
+// optimizer cooperatively mid-enumeration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +37,7 @@ func main() {
 	catName := flag.String("catalog", "tpch", "catalog: tpch, warehouse1, warehouse2")
 	nodes := flag.Int("nodes", 1, "logical nodes (1 = serial, 4 = the paper's parallel setup)")
 	levelName := flag.String("level", "inner2", "optimization level: high, inner2, zigzag, leftdeep")
+	timeout := flag.Duration("timeout", 0, "deadline for compile + estimate (0 = none)")
 	flag.Parse()
 
 	sql := strings.Join(flag.Args(), " ")
@@ -77,7 +82,14 @@ func main() {
 		fatalf("parse: %v", err)
 	}
 
-	res, err := cote.Optimize(q, cote.OptimizeOptions{Level: level, Config: cfg})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := cote.OptimizeCtx(ctx, q, cote.OptimizeOptions{Level: level, Config: cfg})
 	if err != nil {
 		fatalf("optimize: %v", err)
 	}
@@ -89,7 +101,7 @@ func main() {
 	fmt.Printf("time %v | %d join pairs (%d ordered) | plans generated: %v\n",
 		res.Elapsed, pairs, ordered, actual)
 
-	est, err := cote.EstimatePlans(q, cote.EstimateOptions{Level: level, Config: cfg})
+	est, err := cote.EstimatePlansCtx(ctx, q, cote.EstimateOptions{Level: level, Config: cfg})
 	if err != nil {
 		fatalf("estimate: %v", err)
 	}

@@ -7,9 +7,15 @@
 // Usage:
 //
 //	mop [-workload real1|real2|tpch|star|linear|random] [-nodes 1|4] [-static]
+//	    [-timeout 0] [-budget-factor 0]
+//
+// -timeout bounds each query's meta-optimization; -budget-factor aborts a
+// recompile whose generated plans overrun the prediction by that factor and
+// retries at the next-lower level.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +27,8 @@ func main() {
 	wlName := flag.String("workload", "tpch", "workload: real1, real2, tpch, star, linear, random")
 	nodes := flag.Int("nodes", 1, "logical nodes (1 or 4)")
 	static := flag.Bool("static", false, "treat queries as static (repeatedly executed): 10x compile budget")
+	timeout := flag.Duration("timeout", 0, "per-query meta-optimization deadline (0 = none)")
+	budgetFactor := flag.Float64("budget-factor", 0, "abort+downgrade a recompile overrunning the predicted plan count by this factor (0 = off)")
 	flag.Parse()
 
 	var w *cote.Workload
@@ -63,16 +71,23 @@ func main() {
 	fmt.Printf("model: %v\n\n", model)
 
 	mop := &cote.MetaOptimizer{
-		High:   cote.LevelHighInner2,
-		Config: cfg,
-		Model:  model,
-		Static: *static,
+		High:         cote.LevelHighInner2,
+		Config:       cfg,
+		Model:        model,
+		Static:       *static,
+		BudgetFactor: *budgetFactor,
 	}
 
-	fmt.Printf("%-16s %14s %14s %10s %18s\n", "query", "E (greedy exec)", "C (est compile)", "recompile", "final plan cost")
-	recompiled := 0
+	fmt.Printf("%-16s %14s %14s %10s %18s %8s\n", "query", "E (greedy exec)", "C (est compile)", "recompile", "final plan cost", "aborts")
+	recompiled, aborted := 0, 0
 	for _, q := range w.Queries {
-		_, dec, err := mop.Run(q.Block)
+		ctx := context.Background()
+		cancel := func() {}
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		_, dec, err := mop.RunCtx(ctx, q.Block)
+		cancel()
 		if err != nil {
 			fatal(err)
 		}
@@ -81,10 +96,15 @@ func main() {
 			mark = "YES"
 			recompiled++
 		}
-		fmt.Printf("%-16s %14v %14v %10s %18v\n",
-			q.Name, dec.LowPlanExecCost, dec.HighCompileEstimate, mark, dec.FinalPlanCost)
+		aborted += len(dec.AbortedLevels)
+		fmt.Printf("%-16s %14v %14v %10s %18v %8d\n",
+			q.Name, dec.LowPlanExecCost, dec.HighCompileEstimate, mark, dec.FinalPlanCost, len(dec.AbortedLevels))
 	}
-	fmt.Printf("\nrecompiled %d of %d queries at the high level\n", recompiled, len(w.Queries))
+	fmt.Printf("\nrecompiled %d of %d queries at the high level", recompiled, len(w.Queries))
+	if *budgetFactor > 0 {
+		fmt.Printf("; %d level(s) budget-aborted", aborted)
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

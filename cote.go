@@ -25,10 +25,13 @@
 package cote
 
 import (
+	"context"
+
 	"cote/internal/catalog"
 	"cote/internal/core"
 	"cote/internal/cost"
 	"cote/internal/opt"
+	"cote/internal/optctx"
 	"cote/internal/props"
 	"cote/internal/query"
 	"cote/internal/sqlparser"
@@ -115,6 +118,36 @@ func Optimize(q *Query, opts OptimizeOptions) (*OptimizeResult, error) {
 	return opt.Optimize(q, opts)
 }
 
+// OptimizeCtx is Optimize bounded by a context: the compilation stops
+// cooperatively (promptly, at enumeration granularity) when ctx expires.
+func OptimizeCtx(ctx context.Context, q *Query, opts OptimizeOptions) (*OptimizeResult, error) {
+	return opt.OptimizeCtx(ctx, q, opts)
+}
+
+// ExecContext is a per-optimization execution context: cancellation, a
+// generated-plan budget, a live progress meter (generated plans over the
+// COTE-predicted total — the paper's Section 6 progress application) and
+// per-stage observability hooks.
+type ExecContext = optctx.Ctx
+
+// ExecHooks observe a compilation driven under an ExecContext.
+type ExecHooks = optctx.Hooks
+
+// NewExecContext returns an execution context observing ctx. Arm it with
+// SetPredictedPlans/SetPlanBudget and hooks via WithHooks, then pass it to
+// OptimizeWith.
+func NewExecContext(ctx context.Context) *ExecContext { return optctx.New(ctx) }
+
+// ErrBudgetExceeded reports that a compilation overran its generated-plan
+// budget and was aborted.
+var ErrBudgetExceeded = optctx.ErrBudgetExceeded
+
+// OptimizeWith compiles under an execution context. A nil ExecContext
+// behaves exactly like Optimize.
+func OptimizeWith(oc *ExecContext, q *Query, opts OptimizeOptions) (*OptimizeResult, error) {
+	return opt.OptimizeWith(oc, q, opts)
+}
+
 // EstimateOptions configures a compilation-time estimation.
 type EstimateOptions = core.Options
 
@@ -142,6 +175,11 @@ const (
 // lists to count the plans each join would generate.
 func EstimatePlans(q *Query, opts EstimateOptions) (*Estimate, error) {
 	return core.EstimatePlans(q, opts)
+}
+
+// EstimatePlansCtx is EstimatePlans bounded by a context.
+func EstimatePlansCtx(ctx context.Context, q *Query, opts EstimateOptions) (*Estimate, error) {
+	return core.EstimatePlansCtx(ctx, q, opts)
 }
 
 // ActualPlanCounts extracts the generated-plan counts from a real

@@ -1,0 +1,65 @@
+// Live progress estimation: the paper's Section 6 workload-advisor
+// application. The COTE prediction becomes the denominator of a progress
+// meter, and the optimizer's execution context streams the numerator — the
+// accumulated generated-plan count — through a hook while the compile runs.
+// The same context carries a deadline: the second part of the example shows
+// a 2ms budget cancelling the compile cooperatively mid-enumeration.
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cote"
+)
+
+func main() {
+	q := cote.Real2Workload(4).Queries[7] // 14 tables and 3 views: the heaviest built-in compile
+	opts := cote.OptimizeOptions{Level: cote.LevelHighInner2, Config: cote.Parallel4}
+
+	// The estimator prices the compile first — a fraction of a percent of the
+	// real work — to give the meter its total.
+	est, err := cote.EstimatePlans(q.Block, cote.EstimateOptions{Level: opts.Level, Config: opts.Config})
+	if err != nil {
+		panic(err)
+	}
+	predicted := int64(est.Counts.Total())
+	fmt.Printf("query %s: COTE predicts %d generated plans (estimated in %v)\n\n",
+		q.Name, predicted, est.Elapsed)
+
+	// Drive the real compile under an execution context, printing each 10%
+	// milestone from the progress hook.
+	lastDecile := int64(-1)
+	oc := cote.NewExecContext(context.Background()).WithHooks(cote.ExecHooks{
+		OnProgress: func(generated, total int64) {
+			if total <= 0 {
+				return
+			}
+			if d := 10 * generated / total; d > lastDecile {
+				lastDecile = d
+				fmt.Printf("  %3d%%  (%d / %d plans)\n", 10*d, generated, total)
+			}
+		},
+	})
+	oc.SetPredictedPlans(predicted)
+	start := time.Now()
+	res, err := cote.OptimizeWith(oc, q.Block, opts)
+	if err != nil {
+		panic(err)
+	}
+	generated, _ := oc.Progress()
+	fmt.Printf("\ncompiled in %v: %d plans generated (prediction off by %+.1f%%)\n",
+		time.Since(start).Round(time.Microsecond), generated,
+		100*float64(generated-predicted)/float64(predicted))
+	fmt.Printf("plan cost %.0f, %d MEMO plans retained\n\n", res.Plan.Cost, res.Blocks[len(res.Blocks)-1].Memo.NumPlans())
+
+	// The same context machinery enforces deadlines: a 2ms budget stops the
+	// ~tens-of-ms compile cooperatively at an enumeration checkpoint.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	_, err = cote.OptimizeCtx(ctx, q.Block, opts)
+	fmt.Printf("with a 2ms deadline: returned after %v with %q\n",
+		time.Since(start).Round(time.Microsecond), err)
+}

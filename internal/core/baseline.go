@@ -73,10 +73,14 @@ func CountJoins(blk *query.Block, opts Options) (*JoinCountEstimate, error) {
 	}
 	out := &JoinCountEstimate{}
 	for _, b := range blk.Blocks() {
+		if opts.Exec.Cancelled() {
+			return nil, opts.Exec.Err()
+		}
 		card := cost.NewEstimator(b, cost.Simple)
 		mem := memo.New(b.NumTables())
 		eopts := opts.level().EnumOptions()
 		eopts.Cartesian = opts.CartesianPolicy
+		eopts.Exec = opts.Exec
 		st, err := enum.New(b, mem, card, eopts).Run(enum.Hooks{})
 		if err != nil {
 			return nil, err

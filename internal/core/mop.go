@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"cote/internal/cost"
 	"cote/internal/opt"
+	"cote/internal/optctx"
 	"cote/internal/query"
 )
 
@@ -27,6 +30,11 @@ type MOPDecision struct {
 	// TotalElapsed is the wall time the whole meta-optimization took
 	// (low-level compile + estimation + optional high-level compile).
 	TotalElapsed time.Duration
+	// AbortedLevels lists the levels whose recompilation was started and
+	// then aborted because actual generated-plan progress overran the
+	// prediction by more than the budget factor — the graceful-degradation
+	// path when the time model is wrong.
+	AbortedLevels []opt.Level
 }
 
 // MOP is the simple meta-optimizer of Figure 1: compile at the low level,
@@ -54,11 +62,26 @@ type MOP struct {
 	// Parallelism is forwarded to the real compilations (both levels); the
 	// estimation pass is unaffected — it is already cheap and serial.
 	Parallelism int
+	// BudgetFactor, when positive, arms the budget abort on the high-level
+	// recompilation: if it generates more than BudgetFactor times the
+	// COTE-predicted plan count, the compile is aborted and retried at the
+	// next-lower level (down to the greedy floor). Zero disables the abort —
+	// the prediction is trusted unconditionally, the pre-budget behaviour.
+	BudgetFactor float64
 }
 
 // Run executes the meta-optimization loop on a query and returns the chosen
 // plan's result plus the decision record.
 func (m *MOP) Run(blk *query.Block) (*opt.Result, *MOPDecision, error) {
+	return m.RunCtx(context.Background(), blk)
+}
+
+// RunCtx is Run bounded by a context and — when BudgetFactor is set — by
+// the predicted plan count: the high-level recompilation runs under an
+// execution context armed with a generated-plan budget, and an overrun
+// aborts it and retries at the next-lower level instead of returning an
+// error. ctx expiry, in contrast, aborts the whole meta-optimization.
+func (m *MOP) RunCtx(ctx context.Context, blk *query.Block) (*opt.Result, *MOPDecision, error) {
 	start := time.Now()
 	high := m.High
 	if high == opt.LevelLow {
@@ -76,7 +99,7 @@ func (m *MOP) Run(blk *query.Block) (*opt.Result, *MOPDecision, error) {
 		threshold *= 10
 	}
 
-	low, err := opt.Optimize(blk, opt.Options{Level: opt.LevelLow, Config: m.Config, Parallelism: m.Parallelism})
+	low, err := opt.OptimizeCtx(ctx, blk, opt.Options{Level: opt.LevelLow, Config: m.Config, Parallelism: m.Parallelism})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -86,7 +109,7 @@ func (m *MOP) Run(blk *query.Block) (*opt.Result, *MOPDecision, error) {
 		FinalPlanCost:   time.Duration(low.Plan.Cost * execTinst * float64(time.Second)),
 	}
 
-	est, err := EstimatePlans(blk, Options{Level: high, Config: m.Config, Model: m.Model})
+	est, err := EstimatePlansCtx(ctx, blk, Options{Level: high, Config: m.Config, Model: m.Model})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -94,14 +117,52 @@ func (m *MOP) Run(blk *query.Block) (*opt.Result, *MOPDecision, error) {
 
 	result := low
 	if float64(dec.HighCompileEstimate) < threshold*float64(dec.LowPlanExecCost) {
-		dec.Recompiled = true
-		dec.FinalLevel = high
-		result, err = opt.Optimize(blk, opt.Options{Level: high, Config: m.Config, Parallelism: m.Parallelism})
+		res, level, err := m.recompile(ctx, blk, high, est, dec)
 		if err != nil {
 			return nil, nil, err
 		}
-		dec.FinalPlanCost = time.Duration(result.Plan.Cost * execTinst * float64(time.Second))
+		if res != nil {
+			dec.Recompiled = true
+			dec.FinalLevel = level
+			dec.FinalPlanCost = time.Duration(res.Plan.Cost * execTinst * float64(time.Second))
+			result = res
+		}
 	}
 	dec.TotalElapsed = time.Since(start)
 	return result, dec, nil
+}
+
+// recompile walks the level ladder downward from high, running each level
+// under a plan budget of BudgetFactor times its COTE prediction. A budget
+// overrun records the aborted level and drops to the next-lower one
+// (re-estimating its plan count); when every DP level aborts, recompile
+// returns nil and the caller keeps the greedy plan. Context errors
+// propagate — a deadline ends the whole loop, not one rung.
+func (m *MOP) recompile(ctx context.Context, blk *query.Block, high opt.Level, est *Estimate, dec *MOPDecision) (*opt.Result, opt.Level, error) {
+	for level := high; level != opt.LevelLow; level = level.NextLower() {
+		if level != high {
+			// Dropping a rung changes the search space, so the budget's
+			// baseline must be re-predicted for the new level.
+			var err error
+			est, err = EstimatePlansCtx(ctx, blk, Options{Level: level, Config: m.Config, Model: m.Model})
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		oc := optctx.New(ctx)
+		if m.BudgetFactor > 0 {
+			total := int64(est.Counts.Total())
+			oc.SetPredictedPlans(total)
+			oc.SetPlanBudget(int64(m.BudgetFactor * float64(total)))
+		}
+		res, err := opt.OptimizeWith(oc, blk, opt.Options{Level: level, Config: m.Config, Parallelism: m.Parallelism})
+		if err == nil {
+			return res, level, nil
+		}
+		if !errors.Is(err, optctx.ErrBudgetExceeded) {
+			return nil, 0, err
+		}
+		dec.AbortedLevels = append(dec.AbortedLevels, level)
+	}
+	return nil, 0, nil
 }

@@ -49,6 +49,9 @@ func EstimateLevels(blk *query.Block, top opt.Level, levels []opt.Level, opts Op
 		Joins:  make(map[opt.Level]int),
 	}
 	for _, b := range blk.Blocks() {
+		if opts.Exec.Cancelled() {
+			return nil, opts.Exec.Err()
+		}
 		card := cost.NewEstimator(b, cost.Simple)
 		sc := props.NewScope(b)
 		mem := memo.New(b.NumTables())
@@ -77,6 +80,7 @@ func EstimateLevels(blk *query.Block, top opt.Level, levels []opt.Level, opts Op
 		}
 		eopts := top.EnumOptions()
 		eopts.Cartesian = opts.CartesianPolicy
+		eopts.Exec = opts.Exec
 		if _, err := enum.New(b, mem, card, eopts).Run(hooks); err != nil {
 			return nil, err
 		}

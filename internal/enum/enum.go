@@ -24,6 +24,7 @@ import (
 	"cote/internal/bitset"
 	"cote/internal/cost"
 	"cote/internal/memo"
+	"cote/internal/optctx"
 	"cote/internal/query"
 )
 
@@ -83,6 +84,11 @@ type Options struct {
 	// on the composite inner size of a join".
 	CompositeInnerLimit int
 	Cartesian           CartesianPolicy
+	// Exec, when non-nil, is polled for cancellation at size-class and
+	// bounded-stride granularity: a deadline or budget abort stops the
+	// enumeration promptly instead of letting it run to completion. A nil
+	// Exec is never cancelled and adds no per-join work.
+	Exec *optctx.Ctx
 }
 
 // Hooks are the callbacks the enumerator drives. Init is invoked once per
@@ -115,6 +121,9 @@ type Enumerator struct {
 	mem  *memo.Memo
 	card *cost.Estimator
 	opts Options
+	// stop latches a cancellation observed mid-scan so the remaining loops
+	// unwind without re-polling the context at every level.
+	stop bool
 }
 
 // New builds an enumerator writing into mem and using card for the logical
@@ -133,12 +142,23 @@ func (en *Enumerator) Run(hooks Hooks) (Stats, error) {
 	n := en.blk.NumTables()
 
 	en.runBase(&st, hooks)
+	joins := 0
 	for k := 2; k <= n; k++ {
 		en.scanSizeClass(k, &st, hooks, func(outer, inner, result *memo.Entry) {
 			if hooks.Join != nil {
 				hooks.Join(outer, inner, result)
 			}
+			// Bound the cancellation latency of long size classes: one
+			// poll every 64 joins keeps the overhead off the per-join
+			// path while a deadline still lands within a small, fixed
+			// amount of generation work.
+			if joins++; joins&63 == 0 && en.opts.Exec.Cancelled() {
+				en.stop = true
+			}
 		})
+		if en.stop || en.opts.Exec.Cancelled() {
+			return st, en.opts.Exec.Err()
+		}
 		en.completeSize(k, hooks)
 	}
 	return st, en.checkRoot()
@@ -168,7 +188,17 @@ func (en *Enumerator) scanSizeClass(k int, st *Stats, hooks Hooks, emit func(out
 		smaller := en.mem.OfSize(i)
 		larger := en.mem.OfSize(j)
 		for si, S := range smaller {
+			if en.stop {
+				return
+			}
+			if si&15 == 0 && en.opts.Exec.Cancelled() {
+				en.stop = true
+				return
+			}
 			for li, L := range larger {
+				if en.stop {
+					return
+				}
 				if i == j && li <= si {
 					continue // unordered pairs once
 				}

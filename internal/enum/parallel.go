@@ -81,6 +81,7 @@ func (en *Enumerator) RunParallel(hooks ParallelHooks, workers int) (Stats, erro
 
 	en.runBase(&st, serial)
 
+	exec := en.opts.Exec
 	var tasks []joinTask // reused across size classes
 	var owner []int32    // task index -> worker that generated it
 	for k := 2; k <= n; k++ {
@@ -88,11 +89,21 @@ func (en *Enumerator) RunParallel(hooks ParallelHooks, workers int) (Stats, erro
 		en.scanSizeClass(k, &st, serial, func(outer, inner, result *memo.Entry) {
 			tasks = append(tasks, joinTask{outer, inner, result})
 		})
+		if en.stop || exec.Cancelled() {
+			// The scan stopped early: no generation happened for this size
+			// class, so the MEMO holds exactly the completed prefix of size
+			// classes — bit-identical to a serial run cancelled at the same
+			// boundary.
+			return st, exec.Err()
+		}
 
 		switch {
 		case len(tasks) == 0:
 		case len(tasks) < serialThreshold || workers == 1:
 			for t := range tasks {
+				if t&63 == 0 && exec.Cancelled() {
+					return st, exec.Err()
+				}
 				gens[0](t, tasks[t].outer, tasks[t].inner, tasks[t].result)
 				commits[0](t)
 			}
@@ -113,6 +124,11 @@ func (en *Enumerator) RunParallel(hooks ParallelHooks, workers int) (Stats, erro
 					defer wg.Done()
 					gen := gens[w]
 					for {
+						// Poll before claiming each task so a deadline stops
+						// every worker within one task's worth of generation.
+						if exec.Cancelled() {
+							return
+						}
 						t := int(next.Add(1)) - 1
 						if t >= len(tasks) {
 							return
@@ -124,6 +140,13 @@ func (en *Enumerator) RunParallel(hooks ParallelHooks, workers int) (Stats, erro
 				}(w)
 			}
 			wg.Wait()
+			if exec.Cancelled() {
+				// Workers stopped mid-class; buffered plans are discarded
+				// rather than partially committed, so everything already in
+				// the MEMO (the completed size classes) matches the serial
+				// enumeration bit for bit.
+				return st, exec.Err()
+			}
 			// Replay in canonical task order; each task's plans were
 			// buffered by exactly one worker.
 			for t := range tasks {

@@ -65,14 +65,14 @@ func Optimize(blk *query.Block, card *cost.Estimator, cfg *cost.Config) (*Result
 	cur := scan(seed)
 
 	for cur.Tables.Len() < n {
-		next, plan := -1, (*memo.Plan)(nil)
+		var plan *memo.Plan
 		tryJoin := func(t int) {
 			if !joinAllowed(blk, cur.Tables, t) {
 				return
 			}
 			cand := bestJoin(blk, card, cfg, cur, scan(t), &res.JoinsConsidered)
 			if plan == nil || cand.Cost < plan.Cost {
-				next, plan = t, cand
+				plan = cand
 			}
 		}
 		// Prefer connected tables.
@@ -93,7 +93,6 @@ func Optimize(blk *query.Block, card *cost.Estimator, cfg *cost.Config) (*Result
 				blk.Name, cur.Tables)
 		}
 		cur = plan
-		_ = next
 	}
 	res.Plan = cur
 	res.Cost = cur.Cost

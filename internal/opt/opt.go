@@ -8,6 +8,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"cote/internal/enum"
 	"cote/internal/greedy"
 	"cote/internal/memo"
+	"cote/internal/optctx"
 	"cote/internal/plangen"
 	"cote/internal/props"
 	"cote/internal/query"
@@ -73,6 +75,22 @@ func (l Level) EnumOptions() enum.Options {
 		return enum.Options{}
 	}
 	panic(fmt.Sprintf("opt: level %v has no enumerator options", l))
+}
+
+// NextLower returns the next-cheaper level — the downgrade ladder the
+// admission controller and the meta-optimizer's budget abort walk. LevelLow
+// returns itself (the floor).
+func (l Level) NextLower() Level {
+	switch l {
+	case LevelHigh:
+		return LevelHighInner2
+	case LevelHighInner2:
+		return LevelMediumZigZag
+	case LevelMediumZigZag:
+		return LevelMediumLeftDeep
+	default:
+		return LevelLow
+	}
 }
 
 // Subsumes reports whether the search space of level l contains that of m —
@@ -203,12 +221,33 @@ func (r *Result) Breakdown() Breakdown {
 
 // Optimize compiles the query at the given level: child blocks first (their
 // output cardinalities feed the parent, as in the paper's multi-block
-// extension), then the outermost block, then the finishing enforcers.
+// extension), then the outermost block, then the finishing enforcers. It
+// cannot be cancelled; deadline-sensitive callers use OptimizeCtx or
+// OptimizeWith.
 func Optimize(blk *query.Block, opts Options) (*Result, error) {
+	return OptimizeWith(nil, blk, opts)
+}
+
+// OptimizeCtx is Optimize bounded by a context: when ctx expires the
+// compilation stops cooperatively (at size-class/task granularity in the
+// enumerator) and the context's error is returned.
+func OptimizeCtx(ctx context.Context, blk *query.Block, opts Options) (*Result, error) {
+	return OptimizeWith(optctx.New(ctx), blk, opts)
+}
+
+// OptimizeWith compiles under an execution context carrying cancellation,
+// a generated-plan budget, live progress and per-stage observability. A nil
+// oc behaves exactly like Optimize. With a never-cancelled oc the produced
+// plans, costs and counters are identical to Optimize — the context only
+// observes.
+func OptimizeWith(oc *optctx.Ctx, blk *query.Block, opts Options) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 	for _, b := range blk.Blocks() {
-		br, err := optimizeBlock(b, opts)
+		if oc.Cancelled() {
+			return nil, oc.Err()
+		}
+		br, err := optimizeBlock(oc, b, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -221,6 +260,33 @@ func Optimize(blk *query.Block, opts Options) (*Result, error) {
 	res.Plan = finish(root.Block, root.Plan, root.Memo, opts)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// recordStages attributes one block's compilation to the observability
+// stages: generation (join-method, access and enforcer plan construction),
+// pruning (plan saving into the MEMO, where property-aware pruning runs),
+// and enumeration (the remainder of the block's wall time).
+func recordStages(oc *optctx.Ctx, br *BlockResult) {
+	if oc == nil {
+		return
+	}
+	c := &br.Counters
+	genTime := c.AccessTime
+	for _, d := range c.GenTime {
+		genTime += d
+	}
+	created := c.TotalGenerated() + c.AccessPlans + c.EnforcerPlans
+	pruned := created - br.Memo.NumPlans()
+	if pruned < 0 {
+		pruned = 0
+	}
+	enumTime := br.Elapsed - genTime - c.SaveTime
+	if enumTime < 0 {
+		enumTime = 0
+	}
+	oc.RecordStage(optctx.StageGenerate, int64(created), genTime)
+	oc.RecordStage(optctx.StagePrune, int64(pruned), c.SaveTime)
+	oc.RecordStage(optctx.StageEnumerate, int64(br.EnumStats.Joins), enumTime)
 }
 
 // propagateDerivedCard stores the optimized output cardinality of child on
@@ -236,7 +302,7 @@ func propagateDerivedCard(root, child *query.Block, card float64) {
 }
 
 // optimizeBlock compiles one block.
-func optimizeBlock(blk *query.Block, opts Options) (*BlockResult, error) {
+func optimizeBlock(oc *optctx.Ctx, blk *query.Block, opts Options) (*BlockResult, error) {
 	t0 := time.Now()
 	cfg := opts.Config
 	if cfg == nil {
@@ -259,7 +325,7 @@ func optimizeBlock(blk *query.Block, opts Options) (*BlockResult, error) {
 	mem := memo.New(blk.NumTables())
 	mem.PipelineMatters = sc.PipelineInteresting()
 	mem.ExpMatters = !sc.ExpensiveTables().Empty()
-	popts := plangen.Options{Config: cfg, OrderPolicy: opts.OrderPolicy}
+	popts := plangen.Options{Config: cfg, OrderPolicy: opts.OrderPolicy, Exec: oc}
 	if opts.PilotPass {
 		g, err := greedy.Optimize(blk, card, cfg)
 		if err != nil {
@@ -271,6 +337,7 @@ func optimizeBlock(blk *query.Block, opts Options) (*BlockResult, error) {
 
 	eopts := opts.Level.EnumOptions()
 	eopts.Cartesian = opts.CartesianPolicy
+	eopts.Exec = oc
 	en := enum.New(blk, mem, card, eopts)
 	var st enum.Stats
 	var err error
@@ -281,6 +348,7 @@ func optimizeBlock(blk *query.Block, opts Options) (*BlockResult, error) {
 		finishGen()
 	} else {
 		st, err = en.Run(gen.Hooks())
+		gen.FlushTicks()
 	}
 	if err != nil {
 		return nil, err
@@ -290,11 +358,13 @@ func optimizeBlock(blk *query.Block, opts Options) (*BlockResult, error) {
 	if best == nil {
 		return nil, fmt.Errorf("opt: query %q produced no plan (pilot bound too tight?)", blk.Name)
 	}
-	return &BlockResult{
+	br := &BlockResult{
 		Block: blk, Plan: best, Memo: mem,
 		EnumStats: st, Counters: gen.Counters,
 		Elapsed: time.Since(t0),
-	}, nil
+	}
+	recordStages(oc, br)
+	return br, nil
 }
 
 // finish applies the top-level enforcers: a final sort when no plan

@@ -42,6 +42,7 @@ func (g *Generator) fork() *genWorker {
 		policy:   g.policy,
 		parallel: g.parallel,
 		bound:    g.bound,
+		exec:     g.exec,
 	}
 	w.g.sink = func(result *memo.Entry, p *memo.Plan) {
 		w.results = append(w.results, result)
@@ -97,6 +98,7 @@ func (g *Generator) ParallelHooks() (enum.ParallelHooks, func()) {
 	}
 	finish := func() {
 		for _, w := range workers {
+			w.g.FlushTicks()
 			g.Counters.merge(&w.g.Counters)
 		}
 	}

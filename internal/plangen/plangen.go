@@ -19,6 +19,7 @@ import (
 	"cote/internal/cost"
 	"cote/internal/enum"
 	"cote/internal/memo"
+	"cote/internal/optctx"
 	"cote/internal/props"
 	"cote/internal/query"
 )
@@ -79,6 +80,11 @@ type Options struct {
 	// exceeds it — the pilot-pass search-space reduction discussed in
 	// Section 6.1.
 	PilotBound float64
+	// Exec, when non-nil, receives batched generated-plan progress ticks —
+	// the numerator of the live progress meter and the trigger for the
+	// plan-budget abort. Join-method plans only, matching the estimator's
+	// predicted total.
+	Exec *optctx.Ctx
 }
 
 // Generator produces plans when driven by the join enumerator's hooks. One
@@ -94,6 +100,10 @@ type Generator struct {
 	policy   props.GenerationPolicy
 	parallel bool
 	bound    float64
+	exec     *optctx.Ctx
+	// ticks counts join plans generated since the last progress flush; the
+	// batch keeps the shared atomic off the per-plan hot path.
+	ticks int64
 
 	// arena batches Plan allocations and recycles MEMO-rejected plans.
 	arena planArena
@@ -135,6 +145,7 @@ func New(blk *query.Block, sc *props.Scope, mem *memo.Memo, card *cost.Estimator
 		policy:   opts.OrderPolicy,
 		parallel: cfg.Nodes > 1,
 		bound:    opts.PilotBound,
+		exec:     opts.Exec,
 	}
 }
 
@@ -558,6 +569,12 @@ func (g *Generator) timeMethod(m props.JoinMethod) func() {
 func (g *Generator) emitJoin(result *memo.Entry, op memo.Operator, left, right *memo.Plan, planCost float64, order props.Order, pp props.Partition) {
 	m := op.JoinMethod()
 	g.Counters.Generated[m]++
+	if g.exec != nil {
+		if g.ticks++; g.ticks == tickBatch {
+			g.exec.TickGenerated(tickBatch)
+			g.ticks = 0
+		}
+	}
 	p := g.arena.alloc()
 	*p = memo.Plan{
 		Op: op, Left: left, Right: right, Tables: result.Tables,
@@ -583,6 +600,20 @@ func (g *Generator) emitJoin(result *memo.Entry, op memo.Operator, left, right *
 		return
 	}
 	g.commitJoin(result, p)
+}
+
+// tickBatch is the progress-tick batch size: generated-plan counts reach
+// the shared execution context once per this many join plans.
+const tickBatch = 64
+
+// FlushTicks pushes any generated-plan count still sitting in the local
+// batch to the execution context. Call once per generator after its driving
+// enumeration finished (the parallel finish func does this per worker).
+func (g *Generator) FlushTicks() {
+	if g.exec != nil && g.ticks > 0 {
+		g.exec.TickGenerated(g.ticks)
+		g.ticks = 0
+	}
 }
 
 // commitJoin applies the order-sensitive half of emitJoin: the pilot bound

@@ -42,19 +42,10 @@ type AdmissionDecision struct {
 }
 
 // downgrades maps each dynamic-programming level to the next cheaper
-// search space: bushy → inner2 → zigzag → leftdeep → greedy.
-func downgrades(l opt.Level) opt.Level {
-	switch l {
-	case opt.LevelHigh:
-		return opt.LevelHighInner2
-	case opt.LevelHighInner2:
-		return opt.LevelMediumZigZag
-	case opt.LevelMediumZigZag:
-		return opt.LevelMediumLeftDeep
-	default:
-		return opt.LevelLow
-	}
-}
+// search space: bushy → inner2 → zigzag → leftdeep → greedy. The ladder
+// itself lives on opt.Level so the meta-optimizer's budget abort walks the
+// same rungs.
+func downgrades(l opt.Level) opt.Level { return l.NextLower() }
 
 // admit prices the requested optimization level with the cheap estimator
 // and decides accept / downgrade / reject. predict returns the predicted

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"cote/internal/optctx"
 )
 
 // Counter is an atomic monotonically increasing counter.
@@ -11,6 +13,9 @@ type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by one.
 func (c *Counter) Add() { c.v.Add(1) }
+
+// AddN increments the counter by n.
+func (c *Counter) AddN(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
@@ -112,10 +117,39 @@ type Metrics struct {
 
 	QueueRejected Counter
 	Timeouts      Counter
+	// BudgetAborts counts optimizations aborted because generated plans
+	// overran the COTE prediction by more than the budget factor.
+	BudgetAborts Counter
+
+	// StageCount / StageTimeUS aggregate the per-stage observability of
+	// every completed compilation: units processed and microseconds spent in
+	// parse, enumerate, generate and prune.
+	StageCount  [optctx.NumStages]Counter
+	StageTimeUS [optctx.NumStages]Counter
 }
 
 // NewMetrics returns zeroed metrics with the uptime clock started.
 func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// ObserveStage folds one stage observation into the aggregates.
+func (m *Metrics) ObserveStage(s optctx.Stage, count int64, elapsed time.Duration) {
+	if s < 0 || s >= optctx.NumStages {
+		return
+	}
+	m.StageCount[s].AddN(count)
+	m.StageTimeUS[s].AddN(elapsed.Microseconds())
+}
+
+// ObserveStages folds a finished compilation's per-stage snapshot into the
+// aggregates.
+func (m *Metrics) ObserveStages(oc *optctx.Ctx) {
+	if oc == nil {
+		return
+	}
+	for s, st := range oc.StageSnapshot() {
+		m.ObserveStage(optctx.Stage(s), st.Count, st.Time)
+	}
+}
 
 // Snapshot renders every metric, plus the live pool and cache gauges, as a
 // JSON-marshalable map.
@@ -153,6 +187,21 @@ func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache) map[string]any {
 			"queued":         waiting,
 			"queue_rejected": m.QueueRejected.Value(),
 			"timeouts":       m.Timeouts.Value(),
+			"abandoned_runs": pool.Abandoned(),
+			"budget_aborts":  m.BudgetAborts.Value(),
 		},
+		"stages": m.stagesSnapshot(),
 	}
+}
+
+// stagesSnapshot renders the per-stage aggregates keyed by stage name.
+func (m *Metrics) stagesSnapshot() map[string]map[string]int64 {
+	out := make(map[string]map[string]int64, optctx.NumStages)
+	for s := optctx.Stage(0); s < optctx.NumStages; s++ {
+		out[s.String()] = map[string]int64{
+			"count":   m.StageCount[s].Value(),
+			"time_us": m.StageTimeUS[s].Value(),
+		}
+	}
+	return out
 }

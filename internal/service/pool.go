@@ -22,6 +22,9 @@ type Pool struct {
 	// completes; running counts those actually holding a worker slot.
 	inflight atomic.Int64
 	running  atomic.Int64
+	// abandoned counts runs whose caller's ctx expired mid-run — the work
+	// was cancelled cooperatively and its slot reclaimed.
+	abandoned atomic.Int64
 }
 
 // NewPool returns a pool of the given worker and waiting-line sizes
@@ -39,6 +42,10 @@ func NewPool(workers, queue int) *Pool {
 // Workers returns the number of worker slots.
 func (p *Pool) Workers() int { return cap(p.slots) }
 
+// Abandoned returns the number of runs cancelled mid-flight by their
+// caller's context expiring.
+func (p *Pool) Abandoned() int64 { return p.abandoned.Load() }
+
 // Depth returns the current waiting and running request counts.
 func (p *Pool) Depth() (waiting, running int64) {
 	r := p.running.Load()
@@ -52,9 +59,11 @@ func (p *Pool) Depth() (waiting, running int64) {
 // Run executes fn on the pool: it waits for a worker slot (or gives up when
 // ctx expires or the waiting line is full) and runs fn in a fresh
 // goroutine. When ctx expires mid-run the call returns ctx.Err()
-// immediately, but the underlying work — which has no cancellation points
-// inside the optimizer — runs to completion in the background and only then
-// frees its slot, so the concurrency bound always holds.
+// immediately and the run is counted as abandoned; fn is expected to
+// observe the same ctx through its execution context (the optimizer's
+// cooperative cancellation points), so the goroutine unwinds and frees its
+// slot promptly rather than running to completion. The concurrency bound
+// holds either way — the slot is released only when fn returns.
 func Run[T any](p *Pool, ctx context.Context, fn func() (T, error)) (T, error) {
 	var zero T
 	if p.inflight.Add(1) > int64(cap(p.slots))+p.maxQueue {
@@ -87,6 +96,7 @@ func Run[T any](p *Pool, ctx context.Context, fn func() (T, error)) (T, error) {
 	case r := <-done:
 		return r.v, r.err
 	case <-ctx.Done():
+		p.abandoned.Add(1)
 		return zero, ctx.Err()
 	}
 }

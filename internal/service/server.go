@@ -13,6 +13,7 @@ import (
 	"cote/internal/core"
 	"cote/internal/cost"
 	"cote/internal/opt"
+	"cote/internal/optctx"
 	"cote/internal/query"
 	"cote/internal/sqlparser"
 	"cote/internal/workload"
@@ -49,6 +50,13 @@ type Config struct {
 	// worker pool defaults to GOMAXPROCS/MaxParallelism so that concurrent
 	// requests times per-request workers never oversubscribes the machine.
 	MaxParallelism int
+	// BudgetFactor, when positive, arms the mid-flight budget abort on
+	// POST /v1/optimize: a compile generating more than BudgetFactor times
+	// its COTE-predicted plan count is aborted (and downgraded to the next
+	// cheaper level when Downgrade is set) — the enforcement backstop for
+	// when the prediction admission trusted turns out wrong. Requires a
+	// calibrated model to have any effect. Zero disables the abort.
+	BudgetFactor float64
 }
 
 // DefaultRequestTimeout bounds estimate/optimize requests when Config
@@ -64,6 +72,7 @@ type Server struct {
 	pool     *Pool
 	cache    *EstimateCache
 	metrics  *Metrics
+	progress *progressTable
 
 	mu    sync.RWMutex
 	model *core.TimeModel
@@ -95,6 +104,7 @@ func New(cfg Config) *Server {
 		pool:     NewPool(cfg.Workers, cfg.Queue),
 		cache:    NewEstimateCache(cfg.CacheCapacity),
 		metrics:  NewMetrics(),
+		progress: newProgressTable(),
 		model:    cfg.Model,
 	}
 }
@@ -184,7 +194,9 @@ func (s *Server) parseRequest(catalogName, levelName, sql string) (*RegistryEntr
 	if sql == "" {
 		return nil, 0, nil, badRequest("missing sql")
 	}
+	parseStart := time.Now()
 	blk, err := sqlparser.Parse(sql, entry.Catalog)
+	s.metrics.ObserveStage(optctx.StageParse, 1, time.Since(parseStart))
 	if err != nil {
 		return nil, 0, nil, badRequest("parse: %v", err)
 	}
@@ -204,7 +216,7 @@ func (s *Server) estimateFor(ctx context.Context, entry *RegistryEntry, blk *que
 		s.metrics.CacheMisses.Add()
 	}
 	est, err := Run(s.pool, ctx, func() (*core.Estimate, error) {
-		return core.EstimatePlans(blk, core.Options{Level: level, Config: entry.Config})
+		return core.EstimatePlansCtx(ctx, blk, core.Options{Level: level, Config: entry.Config})
 	})
 	if err != nil {
 		return nil, false, err
@@ -299,6 +311,11 @@ type OptimizeResponse struct {
 	Rows      float64            `json:"rows,omitempty"`
 	ElapsedNS int64              `json:"elapsed_ns,omitempty"`
 	Counts    core.PlanCounts    `json:"plan_counts"`
+	// BudgetAborted lists levels whose compile started and was aborted
+	// mid-flight because generated plans overran the prediction by more
+	// than the server's budget factor; the final plan (if any) came from a
+	// cheaper level.
+	BudgetAborted []string `json:"budget_aborted,omitempty"`
 }
 
 // Optimize runs a real optimization behind admission control: the cheap
@@ -368,19 +385,60 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 	if parallelism < 1 {
 		parallelism = 1
 	}
-	res, err := Run(s.pool, ctx, func() (*opt.Result, error) {
-		return opt.Optimize(blk, opt.Options{Level: admitted, Config: entry.Config, Parallelism: parallelism})
-	})
-	if err != nil {
-		return nil, err
+	// The compile runs under an execution context: the request deadline
+	// cancels it cooperatively, the COTE prediction feeds the live progress
+	// meter (/v1/progress), and — with a budget factor configured — an
+	// overrun aborts it and drops a level, re-entering this loop.
+	for {
+		oc := optctx.New(ctx)
+		if admitted != opt.LevelLow {
+			if predicted, ok := s.predictPlans(ctx, entry, blk, admitted); ok {
+				oc.SetPredictedPlans(predicted)
+				if s.cfg.BudgetFactor > 0 {
+					oc.SetPlanBudget(int64(s.cfg.BudgetFactor * float64(predicted)))
+				}
+			}
+		}
+		pr := s.progress.add(entry.Name, LevelName(admitted), oc)
+		res, err := Run(s.pool, ctx, func() (*opt.Result, error) {
+			return opt.OptimizeWith(oc, blk, opt.Options{Level: admitted, Config: entry.Config, Parallelism: parallelism})
+		})
+		s.progress.remove(pr)
+		s.metrics.ObserveStages(oc)
+		if err == nil {
+			resp.Level = LevelName(admitted)
+			resp.Plan = res.Plan.String()
+			resp.Cost = res.Plan.Cost
+			resp.Rows = res.Plan.Card
+			resp.ElapsedNS = res.Elapsed.Nanoseconds()
+			resp.Counts = core.CountsFrom(res.TotalCounters())
+			return resp, nil
+		}
+		if !errors.Is(err, optctx.ErrBudgetExceeded) {
+			return nil, err
+		}
+		s.metrics.BudgetAborts.Add()
+		resp.BudgetAborted = append(resp.BudgetAborted, LevelName(admitted))
+		if !downgrade {
+			return nil, err
+		}
+		admitted = admitted.NextLower()
 	}
-	resp.Level = LevelName(admitted)
-	resp.Plan = res.Plan.String()
-	resp.Cost = res.Plan.Cost
-	resp.Rows = res.Plan.Card
-	resp.ElapsedNS = res.Elapsed.Nanoseconds()
-	resp.Counts = core.CountsFrom(res.TotalCounters())
-	return resp, nil
+}
+
+// predictPlans returns the COTE-predicted generated-plan total for one
+// level — the progress denominator and budget baseline. It reports false
+// when no model is calibrated (no basis for bounding) or the estimate
+// itself fails (the compile must still run).
+func (s *Server) predictPlans(ctx context.Context, entry *RegistryEntry, blk *query.Block, level opt.Level) (int64, bool) {
+	if s.Model() == nil {
+		return 0, false
+	}
+	est, _, err := s.estimateFor(ctx, entry, blk, level, true)
+	if err != nil {
+		return 0, false
+	}
+	return int64(est.Counts.Total()), true
 }
 
 // CalibrateRequest is the body of POST /v1/calibrate: fit the time model
@@ -472,6 +530,7 @@ func (s *Server) Calibrate(ctx context.Context, req CalibrateRequest) (*Calibrat
 //	POST /v1/calibrate  fit the time model on a named workload
 //	GET  /v1/catalogs   list registered catalogs
 //	POST /v1/catalogs   upload a JSON catalog
+//	GET  /v1/progress   live progress of in-flight optimizations
 //	GET  /metrics       JSON metrics snapshot
 //	GET  /healthz       liveness probe
 func (s *Server) Handler() http.Handler {
@@ -481,6 +540,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/calibrate", s.handleCalibrate)
 	mux.HandleFunc("GET /v1/catalogs", s.handleCatalogList)
 	mux.HandleFunc("POST /v1/catalogs", s.handleCatalogUpload)
+	mux.HandleFunc("GET /v1/progress", s.handleProgress)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -523,6 +583,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		s.metrics.Timeouts.Add()
 	case errors.Is(err, context.Canceled):
 		status = 499 // client went away
+	case errors.Is(err, optctx.ErrBudgetExceeded):
+		// Aborted over budget with downgrading disallowed: the same
+		// "compilation too expensive" outcome as an admission reject.
+		status = http.StatusTooManyRequests
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -36,6 +36,11 @@ if [ "$mode" = smoke ]; then
   extra=(-benchtime 1x)
 fi
 
+if [ "$mode" != update ] && [ ! -f "$BASELINE" ]; then
+  echo "bench.sh: baseline $BASELINE not found — run 'scripts/bench.sh -update' once to record it" >&2
+  exit 1
+fi
+
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
