@@ -10,6 +10,8 @@
 package cote_test
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -17,8 +19,10 @@ import (
 
 	"cote/internal/core"
 	"cote/internal/experiments"
+	qfp "cote/internal/fingerprint"
 	"cote/internal/opt"
 	"cote/internal/props"
+	"cote/internal/service"
 	"cote/internal/workload"
 )
 
@@ -299,5 +303,131 @@ func BenchmarkEstimateReal2Headline(b *testing.B) {
 		if _, err := core.EstimatePlans(q.Block, core.Options{Level: experiments.Level}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Cross-query fingerprint memoization ---
+
+// BenchmarkFingerprintReal2Headline prices the canonicalize-and-hash step by
+// itself: the fixed cost every fingerprint-cache lookup pays before it can
+// skip enumeration, on the same query the cold headline benchmark estimates.
+func BenchmarkFingerprintReal2Headline(b *testing.B) {
+	setup(b)
+	q := wls["real2_s"].Queries[7]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fp := qfp.Of(q.Block); fp.IsZero() {
+			b.Fatal("zero fingerprint")
+		}
+	}
+}
+
+// BenchmarkEstimateWarmReal2Headline is the warm counterpart of
+// BenchmarkEstimateReal2Headline: the identical estimate served from the
+// fingerprint cache, enumeration skipped. The memoization layer's acceptance
+// bar is >= 10x under the cold benchmark's ns/op.
+func BenchmarkEstimateWarmReal2Headline(b *testing.B) {
+	setup(b)
+	q := wls["real2_s"].Queries[7]
+	cache := core.NewFingerprintCache(16)
+	if _, _, err := cache.EstimatePlans(q.Block, core.Options{Level: experiments.Level}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, hit, err := cache.EstimatePlans(q.Block, core.Options{Level: experiments.Level})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit {
+			b.Fatal("warm lookup missed")
+		}
+	}
+	b.StopTimer()
+	hits, misses, _, _ := cache.Stats()
+	b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit%")
+}
+
+// BenchmarkServiceEstimateWarm drives the full service path — parse,
+// fingerprint, cache — for a repeated six-way TPC-H join. Everything after
+// the first request is a hit, so this is the end-to-end latency of a repeat
+// estimate including SQL parsing.
+func BenchmarkServiceEstimateWarm(b *testing.B) {
+	srv := service.New(service.Config{Workers: 2, CacheCapacity: 64})
+	ctx := context.Background()
+	req := service.EstimateRequest{
+		Catalog: "tpch",
+		SQL: `SELECT n_name FROM customer, orders, lineitem, supplier, nation, region
+		      WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey AND l_suppkey = s_suppkey
+		        AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+		        AND c_mktsegment = 'BUILDING' ORDER BY n_name`,
+	}
+	if _, err := srv.Estimate(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.Estimate(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("repeat request missed the cache")
+		}
+	}
+	b.StopTimer()
+	m := srv.Metrics()
+	hits, misses := m.CacheHits.Value(), m.CacheMisses.Value()
+	b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit%")
+}
+
+// batchStatements builds n spellings over two distinct join structures, each
+// with a fresh literal, so a batch dedupes them to two enumerations at most.
+func batchStatements(n int) []string {
+	stmts := make([]string, n)
+	for i := range stmts {
+		if i%2 == 0 {
+			stmts[i] = fmt.Sprintf(`SELECT n_name FROM customer, orders, lineitem, supplier, nation, region
+			 WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey AND l_suppkey = s_suppkey
+			   AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+			   AND c_mktsegment = 'SEG%d'`, i)
+		} else {
+			stmts[i] = fmt.Sprintf(`SELECT c_name FROM customer, orders, lineitem
+			 WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey
+			   AND o_orderpriority = 'P%d'`, i)
+		}
+	}
+	return stmts
+}
+
+// BenchmarkServiceEstimateBatch submits 16-statement batches of the two
+// structures above. In-batch dedup plus the fingerprint cache mean a
+// steady-state batch parses 16 statements but enumerates none; dedup%
+// reports the in-batch share answered by a sibling statement.
+func BenchmarkServiceEstimateBatch(b *testing.B) {
+	srv := service.New(service.Config{Workers: 2, CacheCapacity: 64})
+	ctx := context.Background()
+	stmts := batchStatements(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var deduped, total int64
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.EstimateBatch(ctx, service.EstimateBatchRequest{Catalog: "tpch", Statements: stmts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, it := range resp.Items {
+			if it.Error != "" {
+				b.Fatal(it.Error)
+			}
+		}
+		deduped += int64(resp.Deduped)
+		total += int64(len(stmts))
+	}
+	if total > 0 {
+		b.ReportMetric(100*float64(deduped)/float64(total), "dedup%")
 	}
 }

@@ -43,7 +43,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS/parallelism)")
 	queue := flag.Int("queue", 0, "max requests waiting for a worker (0 = 4x workers)")
 	timeout := flag.Duration("timeout", 0, "per-request timeout (0 = 30s, negative = none)")
-	cacheCap := flag.Int("cache", 1024, "estimate cache capacity (entries)")
+	cacheCap := flag.Int("cache", 1024, "estimate cache capacity (entries, keyed by catalog epoch + structural fingerprint + level)")
 	budget := flag.Duration("budget", 0, "admission budget: reject/downgrade optimizations predicted to compile longer than this (0 = off)")
 	budgetFactor := flag.Float64("budget-factor", 0, "abort a compile whose generated plans overrun the prediction by this factor (0 = off; needs a model)")
 	downgrade := flag.Bool("downgrade", false, "downgrade over-budget optimizations to a cheaper level instead of rejecting")

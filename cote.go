@@ -30,6 +30,7 @@ import (
 	"cote/internal/catalog"
 	"cote/internal/core"
 	"cote/internal/cost"
+	"cote/internal/fingerprint"
 	"cote/internal/opt"
 	"cote/internal/optctx"
 	"cote/internal/props"
@@ -180,6 +181,31 @@ func EstimatePlans(q *Query, opts EstimateOptions) (*Estimate, error) {
 // EstimatePlansCtx is EstimatePlans bounded by a context.
 func EstimatePlansCtx(ctx context.Context, q *Query, opts EstimateOptions) (*Estimate, error) {
 	return core.EstimatePlansCtx(ctx, q, opts)
+}
+
+// Fingerprint is a canonical 128-bit structural hash of a query: invariant
+// under table aliasing, predicate literal values and join-clause order,
+// distinct across join-graph, knob and interesting-property changes.
+type Fingerprint = fingerprint.FP
+
+// FingerprintOf returns the structural fingerprint of q.
+func FingerprintOf(q *Query) Fingerprint { return fingerprint.Of(q) }
+
+// CanonicalQuery rebuilds q under its canonical table numbering and
+// returns it with its fingerprint. Structurally equal queries rebuild into
+// byte-identical canonical queries, which is what makes fingerprint
+// equality imply identical plan counts.
+func CanonicalQuery(q *Query) (*Query, Fingerprint, error) { return fingerprint.Canonical(q) }
+
+// FingerprintCache memoizes estimates across structurally identical
+// queries: a hit skips join enumeration entirely and re-applies only the
+// linear time model. It is bounded (LRU) and safe for concurrent use.
+type FingerprintCache = core.FingerprintCache
+
+// NewFingerprintCache returns an empty fingerprint cache holding at most
+// capacity estimates (1024 when capacity <= 0).
+func NewFingerprintCache(capacity int) *FingerprintCache {
+	return core.NewFingerprintCache(capacity)
 }
 
 // ActualPlanCounts extracts the generated-plan counts from a real

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"cote/internal/cost"
@@ -127,6 +128,12 @@ func EstimatePlansCtx(ctx context.Context, blk *query.Block, opts Options) (*Est
 	return EstimatePlans(blk, opts)
 }
 
+// memoPool recycles MEMOs across estimation runs. estimateBlock is the one
+// place a MEMO provably does not escape (BlockEstimate keeps only scalar
+// summaries of it), so the serving layer's steady state reuses the entry map
+// and size buckets instead of reallocating them per request.
+var memoPool = sync.Pool{New: func() any { return memo.New(0) }}
+
 // estimateBlock runs one block through the enumerator with counting hooks,
 // returning its estimate and its (simple-mode) output cardinality.
 func estimateBlock(blk *query.Block, cfg *cost.Config, opts Options) (*BlockEstimate, float64, error) {
@@ -135,7 +142,9 @@ func estimateBlock(blk *query.Block, cfg *cost.Config, opts Options) (*BlockEsti
 	// parallel HSJN estimation errors.
 	card := cost.NewEstimator(blk, cost.Simple)
 	sc := props.NewScope(blk)
-	mem := memo.New(blk.NumTables())
+	mem := memoPool.Get().(*memo.Memo)
+	mem.Reset(blk.NumTables())
+	defer memoPool.Put(mem)
 	cnt := newCounter(blk, sc, cfg.Nodes, opts.OrderPolicy, opts.ListMode, opts.PropagateEveryJoin)
 
 	eopts := opts.level().EnumOptions()

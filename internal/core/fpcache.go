@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cote/internal/enum"
+	"cote/internal/fingerprint"
+	"cote/internal/lru"
+	"cote/internal/opt"
+	"cote/internal/optctx"
+	"cote/internal/props"
+	"cote/internal/query"
+)
+
+// FPKey identifies one memoizable estimation: the structural fingerprint of
+// the query plus every knob that changes plan counts at a given level.
+// Options.Model is deliberately excluded — the time model is linear in the
+// counts and is re-applied per request — as is Options.Exec (cancellation
+// bounds a run, it does not change its result).
+type FPKey struct {
+	FP                 fingerprint.FP
+	Level              opt.Level
+	Nodes              int
+	OrderPolicy        props.GenerationPolicy
+	ListMode           ListMode
+	PropagateEveryJoin bool
+	Cartesian          enum.CartesianPolicy
+}
+
+// KeyFor builds the cache key for estimating a query with fingerprint fp
+// under opts, normalizing the knobs the same way EstimatePlans does (nil
+// config = serial, LevelLow = LevelHighInner2).
+func KeyFor(fp fingerprint.FP, opts Options) FPKey {
+	nodes := 1
+	if opts.Config != nil && opts.Config.Nodes > 1 {
+		nodes = opts.Config.Nodes
+	}
+	return FPKey{
+		FP:                 fp,
+		Level:              opts.level(),
+		Nodes:              nodes,
+		OrderPolicy:        opts.OrderPolicy,
+		ListMode:           opts.ListMode,
+		PropagateEveryJoin: opts.PropagateEveryJoin,
+		Cartesian:          opts.CartesianPolicy,
+	}
+}
+
+// FingerprintCache memoizes plan-count estimates across structurally
+// identical queries: a hit skips join enumeration entirely and only
+// re-applies the linear time model, turning a repeat estimate into an LRU
+// lookup.
+//
+// Soundness rests on canonicalization, not just hashing: enumeration counts
+// are NOT invariant under table renumbering (first-join-only property
+// propagation follows the bitset order, and the floating-point cardinality
+// accumulation can tip the card-one Cartesian threshold), so the cache
+// estimates fingerprint.Canonical(blk) — the deterministic rebuild every
+// structurally equal query maps to byte-for-byte. Fingerprint equality
+// therefore implies identical counts by construction, and a hit returns
+// exactly what a fresh run of the same structure would.
+//
+// The cache is safe for concurrent use. Concurrent misses on the same key
+// may estimate redundantly (last Put wins, results are identical); callers
+// that want single-flight semantics layer it on top, as the serving layer
+// does.
+type FingerprintCache struct {
+	mu     sync.Mutex
+	lru    *lru.Cache[FPKey, *Estimate]
+	hits   uint64
+	misses uint64
+}
+
+// DefaultFingerprintCacheSize bounds a cache built with capacity <= 0.
+const DefaultFingerprintCacheSize = 1024
+
+// NewFingerprintCache returns a cache holding at most capacity estimates
+// (DefaultFingerprintCacheSize when capacity <= 0).
+func NewFingerprintCache(capacity int) *FingerprintCache {
+	if capacity <= 0 {
+		capacity = DefaultFingerprintCacheSize
+	}
+	return &FingerprintCache{lru: lru.New[FPKey, *Estimate](capacity)}
+}
+
+// EstimatePlans is the memoizing counterpart of core.EstimatePlans. It
+// fingerprints blk, looks up (fingerprint, level, knobs), and on a miss
+// canonicalizes blk and runs the enumerator over the rebuild. The returned
+// hit flag reports whether enumeration was skipped.
+//
+// The returned Estimate is a private top-level copy, priced with opts.Model
+// and with Elapsed set to this call's wall time (a hit's Elapsed is the
+// lookup cost, microseconds, not the original enumeration). Its Blocks
+// slice is shared with the cache and must be treated as read-only; the
+// block pointers inside reference the canonical rebuild, not blk itself.
+func (c *FingerprintCache) EstimatePlans(blk *query.Block, opts Options) (*Estimate, bool, error) {
+	start := time.Now()
+	// A lookup needs only the hash; the canonical rebuild — several times the
+	// cost of hashing — is deferred to the miss path, where the enumeration
+	// it feeds dwarfs it anyway.
+	key := KeyFor(fingerprint.Of(blk), opts)
+
+	c.mu.Lock()
+	if e, ok := c.lru.Get(key); ok {
+		c.hits++
+		c.mu.Unlock()
+		return priced(e, opts, time.Since(start)), true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	canon, _, err := fingerprint.Canonical(blk)
+	if err != nil {
+		return nil, false, err
+	}
+	runOpts := opts
+	runOpts.Model = nil // cache unpriced; every return path re-prices
+	est, err := EstimatePlans(canon, runOpts)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	c.lru.Put(key, est)
+	c.mu.Unlock()
+	return priced(est, opts, time.Since(start)), false, nil
+}
+
+// EstimatePlansCtx is EstimatePlans bounded by a context (misses stop
+// cooperatively when ctx expires; hits never block).
+func (c *FingerprintCache) EstimatePlansCtx(ctx context.Context, blk *query.Block, opts Options) (*Estimate, bool, error) {
+	opts.Exec = optctx.New(ctx)
+	return c.EstimatePlans(blk, opts)
+}
+
+// priced returns a top-level copy of est with the caller's model applied
+// and the given wall time.
+func priced(est *Estimate, opts Options, elapsed time.Duration) *Estimate {
+	out := *est
+	out.Elapsed = elapsed
+	out.PredictedTime = 0
+	if opts.Model != nil {
+		out.PredictedTime = opts.Model.Predict(out.Counts)
+	}
+	return &out
+}
+
+// Stats reports the cache's lifetime hit/miss counters and current
+// occupancy.
+func (c *FingerprintCache) Stats() (hits, misses uint64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len(), c.lru.Cap()
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"cote/internal/cost"
+	"cote/internal/enum"
+	"cote/internal/opt"
+	"cote/internal/props"
+)
+
+func TestFingerprintCacheHitMatchesMiss(t *testing.T) {
+	c := NewFingerprintCache(16)
+	blk := starBlock(t, 6, 2, 1, 1, 1)
+	cold, hit, err := c.EstimatePlans(blk, Options{Level: opt.LevelHighInner2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first estimate reported a hit")
+	}
+
+	// A fresh build of the same structure must hit and return identical
+	// numbers.
+	twin := starBlock(t, 6, 2, 1, 1, 1)
+	warm, hit, err := c.EstimatePlans(twin, Options{Level: opt.LevelHighInner2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("structurally identical estimate missed")
+	}
+	if warm.Counts != cold.Counts || warm.Joins != cold.Joins || warm.Pairs != cold.Pairs {
+		t.Fatalf("hit diverged: %+v/%d/%d vs %+v/%d/%d",
+			warm.Counts, warm.Joins, warm.Pairs, cold.Counts, cold.Joins, cold.Pairs)
+	}
+	if warm.PredictedMemoryBytes != cold.PredictedMemoryBytes {
+		t.Fatalf("hit memory %d != cold %d", warm.PredictedMemoryBytes, cold.PredictedMemoryBytes)
+	}
+
+	hits, misses, size, capacity := c.Stats()
+	if hits != 1 || misses != 1 || size != 1 || capacity != 16 {
+		t.Fatalf("stats = %d hits, %d misses, %d/%d", hits, misses, size, capacity)
+	}
+}
+
+// TestFingerprintCacheKnobDistinctness verifies every count-affecting knob
+// participates in the key: the same query under each knob variation must
+// miss rather than serve another configuration's counts.
+func TestFingerprintCacheKnobDistinctness(t *testing.T) {
+	c := NewFingerprintCache(64)
+	variants := []Options{
+		{},
+		{Level: opt.LevelMediumLeftDeep},
+		{Level: opt.LevelMediumZigZag},
+		{Level: opt.LevelHigh},
+		{Config: cost.Parallel4},
+		{OrderPolicy: props.Lazy},
+		{ListMode: CompoundLists},
+		{PropagateEveryJoin: true},
+		{CartesianPolicy: enum.CartesianNever},
+		{CartesianPolicy: enum.CartesianAlways},
+	}
+	for i, o := range variants {
+		blk := starBlock(t, 5, 2, 1, 0, nodesOf(o))
+		if _, hit, err := c.EstimatePlans(blk, o); err != nil {
+			t.Fatal(err)
+		} else if hit {
+			t.Fatalf("variant %d hit a previous knob set's entry", i)
+		}
+	}
+	// The zero options normalize to LevelHighInner2 serial: a repeat is the
+	// only hit.
+	blk := starBlock(t, 5, 2, 1, 0, 1)
+	if _, hit, err := c.EstimatePlans(blk, Options{Level: opt.LevelHighInner2}); err != nil {
+		t.Fatal(err)
+	} else if !hit {
+		t.Fatal("normalized default level missed the zero-options entry")
+	}
+}
+
+func nodesOf(o Options) int {
+	if o.Config != nil && o.Config.Nodes > 1 {
+		return o.Config.Nodes
+	}
+	return 1
+}
+
+// TestFingerprintCacheModelReapplied verifies hits are re-priced with the
+// caller's model rather than serving a stale (or zero) prediction.
+func TestFingerprintCacheModelReapplied(t *testing.T) {
+	c := NewFingerprintCache(16)
+	blk := starBlock(t, 5, 1, 0, 0, 1)
+	if _, _, err := c.EstimatePlans(blk, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	m := &TimeModel{Tinst: 1e-8, C: [props.NumJoinMethods]float64{40, 20, 30}, C0: 1000}
+	warm, hit, err := c.EstimatePlans(starBlock(t, 5, 1, 0, 0, 1), Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("expected hit")
+	}
+	if want := m.Predict(warm.Counts); warm.PredictedTime != want {
+		t.Fatalf("hit PredictedTime %v, want %v", warm.PredictedTime, want)
+	}
+}
+
+func TestFingerprintCacheEviction(t *testing.T) {
+	c := NewFingerprintCache(1)
+	a := starBlock(t, 4, 1, 0, 0, 1)
+	b := starBlock(t, 5, 1, 0, 0, 1)
+	if _, hit, _ := c.EstimatePlans(a, Options{}); hit {
+		t.Fatal("cold a hit")
+	}
+	if _, hit, _ := c.EstimatePlans(b, Options{}); hit {
+		t.Fatal("cold b hit")
+	}
+	// a was evicted by b under capacity 1.
+	if _, hit, _ := c.EstimatePlans(starBlock(t, 4, 1, 0, 0, 1), Options{}); hit {
+		t.Fatal("evicted entry still hit")
+	}
+	if _, hit, _ := c.EstimatePlans(starBlock(t, 4, 1, 0, 0, 1), Options{}); !hit {
+		t.Fatal("refilled entry missed")
+	}
+}

@@ -112,14 +112,19 @@ func newCounter(blk *query.Block, sc *props.Scope, nodes int, policy props.Gener
 	if sc.PipelineInteresting() {
 		pipe = 2
 	}
-	return &counter{
+	c := &counter{
 		blk: blk, sc: sc,
 		parallel: nodes > 1, nodes: nodes,
 		policy: policy, mode: mode, everyJoin: everyJoin,
 		pipeFactor: pipe,
 		expTables:  sc.ExpensiveTables(),
-		vecs:       make(map[bitset.Set][]propVec),
 	}
+	// Only the compound-list ablation maintains per-entry vectors; the
+	// default separate-list mode never touches the map.
+	if mode == CompoundLists {
+		c.vecs = make(map[bitset.Set][]propVec)
+	}
+	return c
 }
 
 func (c *counter) hooks() enum.Hooks {

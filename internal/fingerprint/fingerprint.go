@@ -1,0 +1,675 @@
+// Package fingerprint computes a canonical 128-bit structural hash of a
+// query block — the key of the cross-query memoization layer.
+//
+// COTE's output for a query depends only on its *structure*: the join graph
+// (edges with their operators and column statistics), the per-table local
+// predicate shapes, the outer-join restrictions, and the clauses that seed
+// interesting orders and partitions (GROUP BY / ORDER BY / FETCH FIRST,
+// index and partitioning keys). It does not depend on how tables are
+// spelled, which aliases they go by, in what order the FROM list mentions
+// them, or what constants the predicates compare against (constants enter
+// only through selectivities, which the parser derives from column NDVs).
+// Two blocks with equal fingerprints therefore produce identical plan
+// counts at any optimization level, so a repeat fingerprint can skip join
+// enumeration entirely.
+//
+// # Canonicalization
+//
+// The hard part is quantifier renaming: the same structure must hash
+// identically no matter how the block happens to number its tables. The
+// package canonicalizes the join graph with color refinement
+// (Weisfeiler-Lehman style) plus individualization:
+//
+//  1. Every table starts with a color hashed from its label-free local
+//     signature: base-table row count (or the recursive fingerprint of a
+//     derived table's block), index column shapes, partitioning keys,
+//     local-predicate multiset, and its appearances in the GROUP BY /
+//     ORDER BY / select clauses.
+//  2. Colors are refined iteratively: each round rehashes a table's color
+//     with the sorted multiset of (edge attributes, neighbor color) over
+//     its join predicates and outer-join constraints, until the color
+//     partition stabilizes.
+//  3. While colors remain tied, one member of the smallest tied class is
+//     individualized (given a fresh color) and refinement reruns. Tied
+//     tables are symmetric in practice (star satellites, self-join arms),
+//     so the choice of member does not change the final encoding.
+//
+// The resulting total color order is a canonical table numbering. The block
+// is then serialized exactly — every table, predicate, constraint and
+// clause under canonical numbers, with per-edge sorting where order is
+// semantically irrelevant — and hashed with FNV-128a. Distinct structures
+// produce distinct encodings by construction, so fingerprint collisions
+// require a 128-bit hash collision.
+//
+// # Canonical blocks
+//
+// Equal fingerprints guarantee equal structure, but the enumerator's plan
+// counts are not perfectly invariant under table renumbering: first-join-only
+// property propagation (DB2 experience item 4) makes the propagated order
+// lists depend on which join reaches a MEMO entry first, which follows the
+// bitset numbering — measurably a sub-percent wobble on large blocks.
+// Canonical therefore rebuilds a block with tables renumbered into canonical
+// order and predicates canonically sorted. Two fingerprint-equal blocks
+// rebuild into bit-identical canonical blocks, so estimating the canonical
+// block (as the caches do) makes "fingerprint equality ⇒ identical plan
+// counts" hold by construction.
+package fingerprint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"slices"
+
+	"cote/internal/query"
+)
+
+// FP is a 128-bit structural fingerprint. It is comparable and suitable as
+// a map key.
+type FP struct {
+	Hi, Lo uint64
+}
+
+// String renders the fingerprint as 32 hex digits.
+func (f FP) String() string { return fmt.Sprintf("%016x%016x", f.Hi, f.Lo) }
+
+// IsZero reports whether the fingerprint is the zero value (no real
+// fingerprint hashes to zero in practice; the zero value means "absent").
+func (f FP) IsZero() bool { return f == FP{} }
+
+// Of computes the structural fingerprint of a block. The block must be
+// finalized (implied predicates present — they are part of the structure
+// the enumerator sees). Nested blocks are fingerprinted recursively; the
+// child fingerprints stand in for the derived tables in the parent's
+// encoding.
+func Of(blk *query.Block) FP {
+	childFPs, rank := analyze(blk)
+	return hashEncoding(encodeBlock(blk, rank, childFPs))
+}
+
+// Canonical returns a structurally identical rebuild of blk — tables
+// renumbered into canonical fingerprint order under fresh aliases,
+// predicates canonically sorted, implied predicates re-derived — together
+// with the fingerprint. Any two blocks with equal fingerprints rebuild into
+// identical canonical blocks, so plan counts computed over the canonical
+// block depend only on the fingerprint (see the package comment). The error
+// path is defensive: rebuilding a block the query package already accepted
+// cannot ordinarily fail.
+func Canonical(blk *query.Block) (*query.Block, FP, error) {
+	childFPs, rank := analyze(blk)
+	fp := hashEncoding(encodeBlock(blk, rank, childFPs))
+	cb, err := rebuild(blk, rank)
+	if err != nil {
+		return nil, fp, err
+	}
+	return cb, fp, nil
+}
+
+// analyze fingerprints nested blocks and computes the canonical numbering.
+func analyze(blk *query.Block) ([]FP, []int) {
+	childFPs := make([]FP, blk.NumTables())
+	for i, t := range blk.Tables {
+		if t.IsDerived() {
+			childFPs[i] = Of(t.Derived)
+		}
+	}
+	return childFPs, canonicalOrder(blk, childFPs)
+}
+
+func hashEncoding(enc []byte) FP {
+	h := fnv.New128a()
+	h.Write(enc)
+	var sum [16]byte
+	s := h.Sum(sum[:0])
+	return FP{Hi: binary.BigEndian.Uint64(s[:8]), Lo: binary.BigEndian.Uint64(s[8:])}
+}
+
+// encVersion guards the encoding layout: bump it whenever the byte format
+// changes so stale persisted fingerprints (if any ever exist) cannot alias
+// new ones.
+const encVersion = 1
+
+// Domain-separation tags mixed into color and encoding hashes.
+const (
+	tagBase uint64 = 0x6261_7365 + iota<<32
+	tagDerived
+	tagIndex
+	tagPartition
+	tagLocalPred
+	tagGroupBy
+	tagOrderBy
+	tagSelect
+	tagOJNullProducing
+	tagOJPredReq
+	tagIndividualize
+)
+
+// mix folds v into h with a splitmix64-style finalizer — cheap, and strong
+// enough that refinement colors only collide with negligible probability
+// (and a color collision merely coarsens the partition; the final encoding
+// is exact either way).
+func mix(h, v uint64) uint64 {
+	h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// foldSorted sorts vs and folds them into h — the order-insensitive multiset
+// combine used for neighbor contributions and per-table predicate sets.
+func foldSorted(h uint64, vs []uint64) uint64 {
+	slices.Sort(vs)
+	for _, v := range vs {
+		h = mix(h, v)
+	}
+	return h
+}
+
+func fbits(x float64) uint64 { return math.Float64bits(x) }
+
+// colOrd returns the position of column id within its table reference —
+// the alias-free column identity.
+func colOrd(blk *query.Block, id query.ColID) uint64 {
+	c := blk.Column(id)
+	return uint64(id - c.Ref.FirstCol)
+}
+
+func colNDV(blk *query.Block, id query.ColID) uint64 {
+	return fbits(blk.Column(id).Col.NDV)
+}
+
+// flip mirrors a predicate operator for swapped operands (a < b ≡ b > a).
+func flip(op query.PredOp) query.PredOp {
+	switch op {
+	case query.Lt:
+		return query.Gt
+	case query.Gt:
+		return query.Lt
+	case query.Le:
+		return query.Ge
+	case query.Ge:
+		return query.Le
+	}
+	return op
+}
+
+// canonicalOrder returns rank[i] = canonical position of table i, computed
+// by color refinement with individualization over the join graph.
+func canonicalOrder(blk *query.Block, childFPs []FP) []int {
+	n := blk.NumTables()
+	rank := make([]int, n)
+	if n == 1 {
+		return rank
+	}
+
+	colors := initialColors(blk, childFPs)
+
+	// Per-predicate edge attributes, oriented from each endpoint's
+	// perspective, computed once.
+	type edge struct {
+		lt, rt         int
+		attrLt, attrRt uint64
+	}
+	edges := make([]edge, len(blk.JoinPreds))
+	for i, p := range blk.JoinPreds {
+		lt, rt := blk.TableOf(p.Left), blk.TableOf(p.Right)
+		implied := uint64(0)
+		if p.Implied {
+			implied = 1
+		}
+		lo, ln := colOrd(blk, p.Left), colNDV(blk, p.Left)
+		ro, rn := colOrd(blk, p.Right), colNDV(blk, p.Right)
+		aL := mix(mix(mix(mix(mix(uint64(p.Op), lo), ln), ro), rn), implied)
+		aR := mix(mix(mix(mix(mix(uint64(flip(p.Op)), ro), rn), lo), ln), implied)
+		edges[i] = edge{lt: lt, rt: rt, attrLt: aL, attrRt: aR}
+	}
+
+	contribs := make([][]uint64, n)
+	reqColors := make([]uint64, 0, n)
+	refineRound := func() {
+		for i := range contribs {
+			contribs[i] = contribs[i][:0]
+		}
+		for _, e := range edges {
+			contribs[e.lt] = append(contribs[e.lt], mix(e.attrLt, colors[e.rt]))
+			contribs[e.rt] = append(contribs[e.rt], mix(e.attrRt, colors[e.lt]))
+		}
+		for _, oj := range blk.OuterJoins {
+			reqColors = reqColors[:0]
+			for m := oj.PredReq.Next(0); m >= 0; m = oj.PredReq.Next(m + 1) {
+				reqColors = append(reqColors, colors[m])
+				contribs[m] = append(contribs[m], mix(tagOJPredReq, colors[oj.NullProducing]))
+			}
+			contribs[oj.NullProducing] = append(contribs[oj.NullProducing],
+				foldSorted(tagOJNullProducing, reqColors))
+		}
+		for i := range colors {
+			colors[i] = foldSorted(colors[i], contribs[i])
+		}
+	}
+
+	// classes maps colors to dense class ids (by table index discovery
+	// order — used only to detect whether the partition changed, never for
+	// ordering, so the index dependence is harmless).
+	classes := func() []int {
+		ids := make(map[uint64]int, n)
+		out := make([]int, n)
+		for i, c := range colors {
+			id, ok := ids[c]
+			if !ok {
+				id = len(ids)
+				ids[c] = id
+			}
+			out[i] = id
+		}
+		return out
+	}
+
+	// refine runs rounds until the color partition stabilizes.
+	refine := func() {
+		prev := classes()
+		for r := 0; r < n; r++ {
+			refineRound()
+			cur := classes()
+			if slices.Equal(cur, prev) {
+				break
+			}
+			prev = cur
+		}
+	}
+
+	refine()
+
+	// Individualize while ties remain: give one member of the smallest tied
+	// color class a fresh color and re-refine. Tied members are symmetric
+	// (or the graph is one of the regular corner cases refinement cannot
+	// split — there the choice below may vary with input numbering, costing
+	// a cache miss on an exotic isomorph, never a wrong answer).
+	for round := 0; ; round++ {
+		counts := make(map[uint64]int, n)
+		for _, c := range colors {
+			counts[c]++
+		}
+		var tied uint64
+		found := false
+		for _, c := range colors {
+			if counts[c] > 1 && (!found || c < tied) {
+				tied, found = c, true
+			}
+		}
+		if !found || round > 2*n {
+			break
+		}
+		for i, c := range colors {
+			if c == tied {
+				colors[i] = mix(mix(tagIndividualize, uint64(round)), c)
+				break
+			}
+		}
+		refine()
+	}
+
+	// Total order by final color; ties broken by index (unreachable unless
+	// the individualization loop bailed out).
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortFunc(idx, func(a, b int) int {
+		if colors[a] != colors[b] {
+			if colors[a] < colors[b] {
+				return -1
+			}
+			return 1
+		}
+		return a - b
+	})
+	for pos, i := range idx {
+		rank[i] = pos
+	}
+	return rank
+}
+
+// initialColors seeds each table's color from its label-free local
+// signature: everything about the table that influences estimation except
+// its join-graph context (which refinement adds).
+func initialColors(blk *query.Block, childFPs []FP) []uint64 {
+	colors := make([]uint64, blk.NumTables())
+	var scratch []uint64
+	for i, t := range blk.Tables {
+		h := uint64(0x636f7465) // base seed
+		if t.IsDerived() {
+			h = mix(h, tagDerived)
+			h = mix(h, childFPs[i].Hi)
+			h = mix(h, childFPs[i].Lo)
+			if t.Correlated {
+				h = mix(h, 1)
+			}
+		} else {
+			h = mix(h, tagBase)
+			h = mix(h, fbits(t.Table.RowCount))
+			// Index shapes (ordered column sequences) as a multiset.
+			scratch = scratch[:0]
+			for _, ix := range t.Table.Indexes {
+				ih := tagIndex
+				if ix.Unique {
+					ih = mix(ih, 1)
+				}
+				for _, name := range ix.Columns {
+					c := t.Table.MustColumn(name)
+					ih = mix(mix(ih, uint64(c.Ordinal)), fbits(c.NDV))
+				}
+				scratch = append(scratch, ih)
+			}
+			h = foldSorted(h, scratch)
+			if p := t.Table.Partitioning; p != nil {
+				ph := mix(tagPartition, uint64(p.Nodes))
+				for _, name := range p.Columns {
+					ph = mix(ph, uint64(t.Table.MustColumn(name).Ordinal))
+				}
+				h = mix(h, ph)
+			}
+		}
+		colors[i] = h
+	}
+	// Local predicates contribute per owning table as a multiset.
+	perTable := make([][]uint64, blk.NumTables())
+	for _, lp := range blk.LocalPreds {
+		ti := blk.TableOf(lp.Col)
+		ph := mix(tagLocalPred, uint64(lp.Op))
+		ph = mix(ph, colOrd(blk, lp.Col))
+		ph = mix(ph, fbits(lp.Selectivity))
+		if lp.Implied {
+			ph = mix(ph, 1)
+		}
+		if lp.Expensive {
+			ph = mix(ph, 2)
+		}
+		perTable[ti] = append(perTable[ti], ph)
+	}
+	// Clause appearances: position within the clause matters and is
+	// invariant under table renaming, so it is part of the contribution.
+	clause := func(tag uint64, cols []query.ColID) {
+		for pos, id := range cols {
+			ti := blk.TableOf(id)
+			perTable[ti] = append(perTable[ti],
+				mix(mix(mix(tag, uint64(pos)), colOrd(blk, id)), colNDV(blk, id)))
+		}
+	}
+	clause(tagGroupBy, blk.GroupBy)
+	clause(tagOrderBy, blk.OrderBy)
+	clause(tagSelect, blk.Select)
+	for i := range colors {
+		colors[i] = foldSorted(colors[i], perTable[i])
+	}
+	return colors
+}
+
+// encoder accumulates the canonical byte string.
+type encoder struct{ buf []byte }
+
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+func (e *encoder) words(vs ...uint64) {
+	for _, v := range vs {
+		e.u64(v)
+	}
+}
+
+// encodeBlock serializes the block exactly under canonical table numbering.
+func encodeBlock(blk *query.Block, rank []int, childFPs []FP) []byte {
+	n := blk.NumTables()
+	inv := make([]int, n) // canonical position -> table index
+	for i, r := range rank {
+		inv[r] = i
+	}
+
+	var e encoder
+	e.words(encVersion, uint64(n))
+
+	// Tables in canonical order.
+	for pos := 0; pos < n; pos++ {
+		t := blk.Tables[inv[pos]]
+		if t.IsDerived() {
+			corr := uint64(0)
+			if t.Correlated {
+				corr = 1
+			}
+			e.words(tagDerived, childFPs[t.Index].Hi, childFPs[t.Index].Lo, corr)
+			continue
+		}
+		e.words(tagBase, fbits(t.Table.RowCount))
+		// Indexes and partitioning, as in the color seed but written
+		// explicitly (sorted hashes — index order in the schema is not
+		// structural).
+		var ixs []uint64
+		for _, ix := range t.Table.Indexes {
+			ih := tagIndex
+			if ix.Unique {
+				ih = mix(ih, 1)
+			}
+			for _, name := range ix.Columns {
+				c := t.Table.MustColumn(name)
+				ih = mix(mix(ih, uint64(c.Ordinal)), fbits(c.NDV))
+			}
+			ixs = append(ixs, ih)
+		}
+		slices.Sort(ixs)
+		e.u64(uint64(len(ixs)))
+		e.words(ixs...)
+		if p := t.Table.Partitioning; p != nil {
+			e.words(tagPartition, uint64(p.Nodes), uint64(len(p.Columns)))
+			for _, name := range p.Columns {
+				e.u64(uint64(t.Table.MustColumn(name).Ordinal))
+			}
+		} else {
+			e.u64(0)
+		}
+	}
+
+	// col writes a column reference as (canonical table, ordinal, NDV).
+	col := func(id query.ColID) [3]uint64 {
+		return [3]uint64{uint64(rank[blk.TableOf(id)]), colOrd(blk, id), colNDV(blk, id)}
+	}
+
+	// Local predicates: sorted tuple list (order in the block is not
+	// structural — Finalize appends implied predicates in map order).
+	lps := make([][6]uint64, 0, len(blk.LocalPreds))
+	for _, lp := range blk.LocalPreds {
+		c := col(lp.Col)
+		flags := uint64(0)
+		if lp.Implied {
+			flags |= 1
+		}
+		if lp.Expensive {
+			flags |= 2
+		}
+		lps = append(lps, [6]uint64{c[0], c[1], uint64(lp.Op), fbits(lp.Selectivity), flags, c[2]})
+	}
+	slices.SortFunc(lps, func(a, b [6]uint64) int { return slices.Compare(a[:], b[:]) })
+	e.u64(uint64(len(lps)))
+	for _, lp := range lps {
+		e.words(lp[:]...)
+	}
+
+	// Join predicates: canonical endpoint orientation (smaller canonical
+	// column first, operator mirrored when swapped), then sorted.
+	jps := make([][8]uint64, 0, len(blk.JoinPreds))
+	for _, jp := range blk.JoinPreds {
+		l, r := col(jp.Left), col(jp.Right)
+		op := jp.Op
+		if slices.Compare(l[:2], r[:2]) > 0 {
+			l, r = r, l
+			op = flip(op)
+		}
+		implied := uint64(0)
+		if jp.Implied {
+			implied = 1
+		}
+		jps = append(jps, [8]uint64{l[0], l[1], r[0], r[1], uint64(op), implied, l[2], r[2]})
+	}
+	slices.SortFunc(jps, func(a, b [8]uint64) int { return slices.Compare(a[:], b[:]) })
+	e.u64(uint64(len(jps)))
+	for _, jp := range jps {
+		e.words(jp[:]...)
+	}
+
+	// Outer joins: (canonical null-producing table, sorted canonical
+	// PredReq members), sorted.
+	ojs := make([][]uint64, 0, len(blk.OuterJoins))
+	for _, oj := range blk.OuterJoins {
+		row := []uint64{uint64(rank[oj.NullProducing])}
+		for m := oj.PredReq.Next(0); m >= 0; m = oj.PredReq.Next(m + 1) {
+			row = append(row, uint64(rank[m]))
+		}
+		slices.Sort(row[1:])
+		ojs = append(ojs, row)
+	}
+	slices.SortFunc(ojs, func(a, b []uint64) int { return slices.Compare(a, b) })
+	e.u64(uint64(len(ojs)))
+	for _, row := range ojs {
+		e.u64(uint64(len(row)))
+		e.words(row...)
+	}
+
+	// Ordered clauses: element order is semantic, so it is preserved.
+	clause := func(tag uint64, cols []query.ColID) {
+		e.words(tag, uint64(len(cols)))
+		for _, id := range cols {
+			c := col(id)
+			e.words(c[:]...)
+		}
+	}
+	clause(tagGroupBy, blk.GroupBy)
+	clause(tagOrderBy, blk.OrderBy)
+	clause(tagSelect, blk.Select)
+	e.words(uint64(blk.NumAggs), uint64(blk.FirstN))
+	return e.buf
+}
+
+// rebuild reconstructs blk under canonical table numbering: tables are added
+// in canonical order under positional aliases, non-implied predicates are
+// added in canonically sorted order (implied ones are re-derived by
+// Finalize from the same inputs, so they come out identical), and nested
+// blocks are rebuilt recursively. The output is a pure function of the
+// fingerprint encoding.
+func rebuild(blk *query.Block, rank []int) (*query.Block, error) {
+	n := blk.NumTables()
+	inv := make([]int, n)
+	for i, r := range rank {
+		inv[r] = i
+	}
+	qb := query.NewBuilder(blk.Name, blk.Catalog)
+	for pos := 0; pos < n; pos++ {
+		ref := blk.Tables[inv[pos]]
+		alias := fmt.Sprintf("q%d", pos)
+		if ref.IsDerived() {
+			child, _, err := Canonical(ref.Derived)
+			if err != nil {
+				return nil, err
+			}
+			qb.AddDerived(child, alias, ref.Correlated)
+		} else {
+			qb.AddTable(ref.Table.Name, alias)
+		}
+	}
+	mapCol := func(id query.ColID) query.ColID {
+		ref := blk.Column(id).Ref
+		return qb.ColByTableIndex(rank[ref.Index], int(id-ref.FirstCol))
+	}
+
+	// Join predicates in canonical orientation and canonically sorted order
+	// — the same tuples the encoding writes, so two fingerprint-equal blocks
+	// add them identically.
+	type jp struct {
+		key         [6]uint64
+		left, right query.ColID
+		op          query.PredOp
+	}
+	var jps []jp
+	for _, p := range blk.JoinPreds {
+		if p.Implied {
+			continue
+		}
+		l := [2]uint64{uint64(rank[blk.TableOf(p.Left)]), colOrd(blk, p.Left)}
+		r := [2]uint64{uint64(rank[blk.TableOf(p.Right)]), colOrd(blk, p.Right)}
+		left, right, op := p.Left, p.Right, p.Op
+		if slices.Compare(l[:], r[:]) > 0 {
+			l, r = r, l
+			left, right = right, left
+			op = flip(op)
+		}
+		jps = append(jps, jp{key: [6]uint64{l[0], l[1], r[0], r[1], uint64(op), 0}, left: left, right: right, op: op})
+	}
+	slices.SortFunc(jps, func(a, b jp) int { return slices.Compare(a.key[:], b.key[:]) })
+	for _, p := range jps {
+		qb.Join(mapCol(p.left), mapCol(p.right), p.op)
+	}
+
+	type lp struct {
+		key  [5]uint64
+		pred query.LocalPred
+	}
+	var lps []lp
+	for _, p := range blk.LocalPreds {
+		if p.Implied {
+			continue
+		}
+		exp := uint64(0)
+		if p.Expensive {
+			exp = 1
+		}
+		lps = append(lps, lp{
+			key:  [5]uint64{uint64(rank[blk.TableOf(p.Col)]), colOrd(blk, p.Col), uint64(p.Op), fbits(p.Selectivity), exp},
+			pred: p,
+		})
+	}
+	slices.SortFunc(lps, func(a, b lp) int { return slices.Compare(a.key[:], b.key[:]) })
+	for _, p := range lps {
+		if p.pred.Expensive {
+			qb.ExpensiveFilter(mapCol(p.pred.Col), p.pred.Selectivity)
+		} else {
+			qb.Filter(mapCol(p.pred.Col), p.pred.Op, p.pred.Selectivity)
+		}
+	}
+
+	type oj struct {
+		key  []uint64
+		null int
+		req  []int
+	}
+	var ojs []oj
+	for _, o := range blk.OuterJoins {
+		row := oj{null: rank[o.NullProducing], key: []uint64{uint64(rank[o.NullProducing])}}
+		for m := o.PredReq.Next(0); m >= 0; m = o.PredReq.Next(m + 1) {
+			row.req = append(row.req, rank[m])
+		}
+		slices.Sort(row.req)
+		for _, r := range row.req {
+			row.key = append(row.key, uint64(r))
+		}
+		ojs = append(ojs, row)
+	}
+	slices.SortFunc(ojs, func(a, b oj) int { return slices.Compare(a.key, b.key) })
+	for _, o := range ojs {
+		qb.LeftOuter(o.null, o.req...)
+	}
+
+	mapCols := func(cols []query.ColID) []query.ColID {
+		out := make([]query.ColID, len(cols))
+		for i, c := range cols {
+			out[i] = mapCol(c)
+		}
+		return out
+	}
+	qb.GroupBy(mapCols(blk.GroupBy)...)
+	qb.OrderBy(mapCols(blk.OrderBy)...)
+	qb.SelectCols(mapCols(blk.Select)...)
+	qb.Aggregates(blk.NumAggs)
+	qb.FetchFirst(blk.FirstN)
+	return qb.Build()
+}

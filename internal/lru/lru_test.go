@@ -1,6 +1,9 @@
 package lru
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestPutGetUpdate(t *testing.T) {
 	c := New[string, int](3)
@@ -73,6 +76,62 @@ func TestChurnKeepsListConsistent(t *testing.T) {
 		}
 	}
 	// Walk the list both ways and compare with the map size.
+	n := 0
+	for p := c.head; p != nil; p = p.next {
+		n++
+	}
+	if n != c.Len() {
+		t.Fatalf("forward walk %d != len %d", n, c.Len())
+	}
+	n = 0
+	for p := c.tail; p != nil; p = p.prev {
+		n++
+	}
+	if n != c.Len() {
+		t.Fatalf("backward walk %d != len %d", n, c.Len())
+	}
+}
+
+// TestParallelGetPutEviction hammers a mutex-wrapped cache — the locking
+// discipline every user of this package follows — from many goroutines at a
+// capacity small enough that most Puts evict. Under -race this checks the
+// eviction path's list surgery never escapes the caller's critical section;
+// afterwards the list is walked for consistency like TestChurnKeepsListConsistent.
+func TestParallelGetPutEviction(t *testing.T) {
+	const (
+		capacity   = 8
+		goroutines = 8
+		ops        = 2000
+	)
+	var mu sync.Mutex
+	c := New[int, int](capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := (g*ops + i) % 29
+				mu.Lock()
+				if i%3 == 0 {
+					if v, ok := c.Get(k); ok && v%29 != k {
+						t.Errorf("key %d holds value %d", k, v)
+					}
+				} else {
+					c.Put(k, k+29*g)
+				}
+				if c.Len() > capacity {
+					t.Errorf("len %d exceeds cap %d", c.Len(), capacity)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if c.Len() != capacity {
+		t.Fatalf("len = %d after saturating churn, want %d", c.Len(), capacity)
+	}
 	n := 0
 	for p := c.head; p != nil; p = p.next {
 		n++

@@ -181,6 +181,27 @@ func (m *Memo) GetOrCreate(s bitset.Set) (e *Entry, created bool) {
 	return e, true
 }
 
+// Reset returns the MEMO to the empty state for a block of n tables,
+// keeping the entry map and size buckets so pooled reuse (sync.Pool in the
+// estimator's per-request hot path) allocates nothing in steady state.
+// Entry pointers obtained before the Reset must not be used afterwards.
+func (m *Memo) Reset(n int) {
+	clear(m.entries)
+	if n+1 > cap(m.bySize) {
+		m.bySize = make([][]*Entry, n+1)
+	} else {
+		m.bySize = m.bySize[:n+1]
+		for i, g := range m.bySize {
+			clear(g) // drop stale entry pointers so the pool pins nothing
+			m.bySize[i] = g[:0]
+		}
+	}
+	m.sorted = nil
+	m.nplans = 0
+	m.PipelineMatters = false
+	m.ExpMatters = false
+}
+
 // Entry returns the entry for s, or nil.
 func (m *Memo) Entry(s bitset.Set) *Entry { return m.entries[s] }
 

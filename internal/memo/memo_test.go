@@ -311,3 +311,40 @@ func BenchmarkEntries(b *testing.B) {
 		}
 	})
 }
+
+// TestReset exercises the pooled-reuse path: a Reset MEMO must behave like
+// a fresh New for any (smaller, equal, larger) table count, with the
+// Entries snapshot invalidated and no state leaking from the previous use.
+func TestReset(t *testing.T) {
+	m := New(3)
+	m.GetOrCreate(bitset.Of(0))
+	m.GetOrCreate(bitset.Of(1, 2))
+	e, _ := m.GetOrCreate(bitset.Of(1))
+	m.InsertPlan(e, &Plan{Tables: bitset.Of(1), Cost: 1})
+	m.PipelineMatters, m.ExpMatters = true, true
+	if len(m.Entries()) != 3 {
+		t.Fatal("setup failed")
+	}
+
+	for _, n := range []int{2, 3, 7} {
+		m.Reset(n)
+		if m.NumEntries() != 0 || m.NumPlans() != 0 {
+			t.Fatalf("Reset(%d) kept %d entries, %d plans", n, m.NumEntries(), m.NumPlans())
+		}
+		if m.PipelineMatters || m.ExpMatters {
+			t.Fatalf("Reset(%d) kept property flags", n)
+		}
+		if got := m.Entries(); len(got) != 0 {
+			t.Fatalf("Reset(%d) kept a stale Entries snapshot: %v", n, got)
+		}
+		if m.Entry(bitset.Of(1)) != nil {
+			t.Fatalf("Reset(%d) kept an entry", n)
+		}
+		// The MEMO is fully usable at the new size.
+		all := bitset.Of(n - 1)
+		m.GetOrCreate(all)
+		if got := m.OfSize(1); len(got) != 1 || got[0].Tables != all {
+			t.Fatalf("Reset(%d) size buckets broken: %v", n, got)
+		}
+	}
+}

@@ -364,6 +364,7 @@ func optimizeBlock(oc *optctx.Ctx, blk *query.Block, opts Options) (*BlockResult
 		Elapsed: time.Since(t0),
 	}
 	recordStages(oc, br)
+	gen.ReleaseScratch()
 	return br, nil
 }
 

@@ -43,6 +43,7 @@ func (g *Generator) fork() *genWorker {
 		parallel: g.parallel,
 		bound:    g.bound,
 		exec:     g.exec,
+		scratch:  scratchPool.Get().(*scratch),
 	}
 	w.g.sink = func(result *memo.Entry, p *memo.Plan) {
 		w.results = append(w.results, result)
@@ -100,6 +101,7 @@ func (g *Generator) ParallelHooks() (enum.ParallelHooks, func()) {
 		for _, w := range workers {
 			w.g.FlushTicks()
 			g.Counters.merge(&w.g.Counters)
+			w.g.ReleaseScratch()
 		}
 	}
 	return hooks, finish

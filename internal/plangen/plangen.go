@@ -14,6 +14,7 @@
 package plangen
 
 import (
+	"sync"
 	"time"
 
 	"cote/internal/cost"
@@ -105,15 +106,30 @@ type Generator struct {
 	// batch keeps the shared atomic off the per-plan hot path.
 	ticks int64
 
-	// arena batches Plan allocations and recycles MEMO-rejected plans.
-	arena planArena
 	// sink, when set, receives finalized join plans instead of committing
 	// them to the MEMO — the deferred-emission mode worker generators run
 	// in during the parallel DP round.
 	sink func(result *memo.Entry, p *memo.Plan)
 
-	// Per-goroutine scratch buffers, reused join over join so the steady
-	// state of one optimization allocates almost nothing.
+	// scratch is the pooled per-goroutine working memory (arena + reusable
+	// slices); its fields are promoted so the hot path reads g.ocBuf etc.
+	*scratch
+
+	Counters Counters
+}
+
+// scratch is the per-goroutine working memory of one Generator: the plan
+// arena plus the slice buffers reused join over join so the steady state of
+// one optimization allocates almost nothing. It is recycled across requests
+// through scratchPool (ReleaseScratch) so a serving process's steady state
+// also stops allocating them per compile. Recycling the arena is sound: the
+// free list holds only plans that were never inserted into any MEMO, and a
+// pooled current chunk pins at most one chunk's worth of a finished
+// request's plans until it is overwritten.
+type scratch struct {
+	// arena batches Plan allocations and recycles MEMO-rejected plans.
+	arena planArena
+
 	ocBuf, icBuf  []query.ColID
 	jcBuf         []query.ColID
 	outsBuf       []props.Order
@@ -124,8 +140,23 @@ type Generator struct {
 	candPartsBuf  []props.Partition
 	completeParts props.PartitionList
 	completeOrds  props.OrderList
+}
 
-	Counters Counters
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// ReleaseScratch returns the generator's pooled working memory. Call it once
+// the generator is finished (no hook will fire again); using the generator
+// afterwards panics. Safe to call twice.
+func (g *Generator) ReleaseScratch() {
+	s := g.scratch
+	if s == nil {
+		return
+	}
+	g.scratch = nil
+	s.ocBuf, s.icBuf, s.jcBuf = s.ocBuf[:0], s.icBuf[:0], s.jcBuf[:0]
+	s.outsBuf, s.insBuf = s.outsBuf[:0], s.insBuf[:0]
+	s.candPartsBuf = s.candPartsBuf[:0]
+	scratchPool.Put(s)
 }
 
 // New builds a plan generator writing into mem. The cardinality estimator
@@ -146,6 +177,7 @@ func New(blk *query.Block, sc *props.Scope, mem *memo.Memo, card *cost.Estimator
 		parallel: cfg.Nodes > 1,
 		bound:    opts.PilotBound,
 		exec:     opts.Exec,
+		scratch:  scratchPool.Get().(*scratch),
 	}
 }
 

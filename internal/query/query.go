@@ -12,6 +12,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 
 	"cote/internal/bitset"
 	"cote/internal/catalog"
@@ -338,19 +339,28 @@ func (b *Block) transitiveClosure() {
 	}
 
 	// Group columns by equivalence class root; singleton classes carry no
-	// implied predicates.
+	// implied predicates. Classes are visited in sorted root order: the
+	// order in which implied predicates are appended is observable (it can
+	// shift plan counts by a join or two through the property lists), and a
+	// map-order walk would make estimates differ run to run for the same
+	// query — fatal for the fingerprint cache's determinism guarantee.
 	classes := map[int][]ColID{}
 	for id := range b.Columns {
 		root := uf.find(id)
 		classes[root] = append(classes[root], ColID(id))
 	}
+	roots := make([]int, 0, len(classes))
 	for root, members := range classes {
 		if len(members) < 2 {
 			delete(classes, root)
+			continue
 		}
+		roots = append(roots, root)
 	}
+	sort.Ints(roots)
 
-	for _, members := range classes {
+	for _, root := range roots {
+		members := classes[root]
 		// Implied join predicates between all cross-table pairs.
 		for i := 0; i < len(members); i++ {
 			for j := i + 1; j < len(members); j++ {

@@ -1,61 +1,117 @@
 package service
 
 import (
-	"fmt"
+	"context"
 	"sync"
 
 	"cote/internal/core"
+	"cote/internal/fingerprint"
 	"cote/internal/lru"
 	"cote/internal/opt"
-	"cote/internal/query"
 )
 
-// EstimateCache is a goroutine-safe bounded LRU of estimation results,
-// keyed by the structural statement signature (core.Signature) plus the
-// options that change the estimate: catalog, level and node count. It
-// replaces ad-hoc reuse of the unbounded StatementCache on the serving
-// path: estimates are deterministic for a given (signature, options) pair,
-// so a hit saves the whole enumeration pass.
+// EstimateKey identifies one cacheable estimate.
+//
+// Key scheme — the fix for the raw-SQL keying bug class the cache shipped
+// with (the old key was catalogName|level|nodes|Signature(sql)):
+//
+//   - FP is the canonical structural fingerprint of the parsed query
+//     (internal/fingerprint). Two spellings differing in whitespace,
+//     aliasing, literal values or join-clause order collapse to one entry,
+//     and — because the fingerprint embeds every estimation-relevant schema
+//     fact (row counts, NDVs at referenced columns, indexes, partitioning)
+//     but never the catalog *name* — two catalogs registered under
+//     different names with identical schemas share entries.
+//   - Epoch invalidates on catalog re-upload: re-registering a name bumps
+//     its RegistryEntry.Epoch to a fresh process-unique value, so entries
+//     cached against the old statistics can never be served again, while
+//     built-ins and first registrations (epoch 0) keep sharing.
+//   - Level and Nodes are the request options that change plan counts.
+//     The serving path fixes the remaining core.Options knobs at their
+//     defaults, so they do not appear here (core.FPKey carries them for
+//     library users).
+//
+// Soundness of fingerprint keying rests on the canonical rebuild: the
+// server estimates fingerprint.Canonical(blk), for which fingerprint
+// equality implies identical plan counts by construction.
+type EstimateKey struct {
+	Epoch uint64
+	FP    fingerprint.FP
+	Level opt.Level
+	Nodes int
+}
+
+// flight is one in-progress enumeration concurrent requests wait on.
+type flight struct {
+	done chan struct{}
+	est  *core.Estimate
+	err  error
+}
+
+// EstimateCache is a goroutine-safe bounded LRU of estimation results keyed
+// by EstimateKey, with a singleflight group over misses: N concurrent
+// requests for the same key run one enumeration while N-1 wait for its
+// result.
 //
 // Cached estimates are stored without a time prediction — the server's
 // model can be recalibrated at any moment, so PredictedTime is recomputed
 // from the cached counts on every response rather than frozen at insert.
 type EstimateCache struct {
-	mu     sync.Mutex
-	lru    *lru.Cache[string, *core.Estimate]
-	hits   int64
-	misses int64
+	mu      sync.Mutex
+	lru     *lru.Cache[EstimateKey, *core.Estimate]
+	flights map[EstimateKey]*flight
+	hits    int64
+	misses  int64
+	shared  int64
 }
 
 // NewEstimateCache returns an empty cache evicting beyond capacity entries.
 func NewEstimateCache(capacity int) *EstimateCache {
-	return &EstimateCache{lru: lru.New[string, *core.Estimate](capacity)}
-}
-
-// EstimateKey builds the cache key for a query under the given options.
-func EstimateKey(catalogName string, level opt.Level, nodes int, blk *query.Block) string {
-	return fmt.Sprintf("%s|%d|%d|%s", catalogName, level, nodes, core.Signature(blk))
-}
-
-// Get returns the cached estimate for the key. Callers must not mutate the
-// returned Estimate; copy it first (the server does, to fill predictions).
-func (c *EstimateCache) Get(key string) (*core.Estimate, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.lru.Get(key)
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
+	return &EstimateCache{
+		lru:     lru.New[EstimateKey, *core.Estimate](capacity),
+		flights: make(map[EstimateKey]*flight),
 	}
-	return e, ok
 }
 
-// Put stores an estimate under the key.
-func (c *EstimateCache) Put(key string, e *core.Estimate) {
+// Do returns the estimate for key, computing it through fn at most once
+// across concurrent callers: a cache hit returns immediately, a request
+// finding another's computation in flight waits for it, and everyone else
+// leads a computation whose success is cached. hit reports an LRU hit;
+// shared reports the result (or error) came from another caller's flight.
+// A waiter abandoned by ctx returns ctx's error without disturbing the
+// flight. Callers must not mutate the returned Estimate.
+func (c *EstimateCache) Do(ctx context.Context, key EstimateKey, fn func() (*core.Estimate, error)) (est *core.Estimate, hit, shared bool, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.lru.Put(key, e)
+	if e, ok := c.lru.Get(key); ok {
+		c.hits++
+		c.mu.Unlock()
+		return e, true, false, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.est, false, true, f.err
+		case <-ctx.Done():
+			return nil, false, true, ctx.Err()
+		}
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.est, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.lru.Put(key, f.est)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.est, false, false, f.err
 }
 
 // Stats returns hit/miss counts and the current size and capacity.
@@ -63,4 +119,12 @@ func (c *EstimateCache) Stats() (hits, misses int64, size, capacity int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.lru.Len(), c.lru.Cap()
+}
+
+// Shared returns how many requests were served by waiting on another
+// request's in-flight enumeration instead of running their own.
+func (c *EstimateCache) Shared() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shared
 }

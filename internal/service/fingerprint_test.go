@@ -1,0 +1,281 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cote/internal/core"
+	"cote/internal/optctx"
+)
+
+// Two spellings of the same structure: permuted FROM and WHERE clause
+// order, renamed aliases, a different literal, gratuitous whitespace.
+const (
+	respellA = `SELECT n_name FROM customer, orders, lineitem, supplier, nation, region
+	 WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey AND l_suppkey = s_suppkey
+	   AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+	   AND c_mktsegment = 'BUILDING'
+	 ORDER BY n_name`
+	respellB = `SELECT na.n_name
+	   FROM region re, nation na, supplier su, lineitem li, orders orr, customer cu
+	  WHERE na.n_regionkey = re.r_regionkey
+	    AND cu.c_mktsegment = 'AUTOMOBILE'
+	    AND orr.o_orderkey = li.l_orderkey
+	    AND li.l_suppkey  =  su.s_suppkey
+	    AND su.s_nationkey = na.n_nationkey
+	    AND cu.c_custkey = orr.o_custkey
+	  ORDER BY na.n_name`
+)
+
+// TestWarmPathZeroEnumeration is the acceptance check of the fingerprint
+// cache: a structurally repeated query — in a different spelling — must be
+// served without any join enumeration, observed on the per-stage counter
+// that moves only when an enumeration actually runs.
+func TestWarmPathZeroEnumeration(t *testing.T) {
+	srv := New(Config{Workers: 2, CacheCapacity: 16})
+	ctx := context.Background()
+
+	cold, err := srv.Estimate(ctx, EstimateRequest{Catalog: "tpch", SQL: respellA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("cold estimate claims cached")
+	}
+	enumAfterCold := srv.Metrics().StageCount[optctx.StageEnumerate].Value()
+	if enumAfterCold == 0 {
+		t.Fatal("cold estimate recorded no enumerate-stage work")
+	}
+
+	warm, err := srv.Estimate(ctx, EstimateRequest{Catalog: "tpch", SQL: respellB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("respelled repeat missed the fingerprint cache")
+	}
+	if got := srv.Metrics().StageCount[optctx.StageEnumerate].Value(); got != enumAfterCold {
+		t.Fatalf("warm path enumerated: stage count %d -> %d", enumAfterCold, got)
+	}
+	if warm.Estimate.Counts != cold.Estimate.Counts {
+		t.Fatalf("warm counts %+v != cold %+v", warm.Estimate.Counts, cold.Estimate.Counts)
+	}
+
+	// no_cache bypasses the cache but must return the same (canonical)
+	// numbers — responses do not depend on caching.
+	raw, err := srv.Estimate(ctx, EstimateRequest{Catalog: "tpch", SQL: respellB, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Cached {
+		t.Fatal("no_cache estimate claims cached")
+	}
+	if raw.Estimate.Counts != cold.Estimate.Counts {
+		t.Fatalf("no_cache counts %+v != cached %+v", raw.Estimate.Counts, cold.Estimate.Counts)
+	}
+}
+
+// miniDef is a small uploadable schema for registry epoch tests.
+func miniDef(name string) CatalogDef {
+	return CatalogDef{
+		Name: name,
+		Tables: []TableDef{
+			{Name: "fact", Rows: 1e6, Columns: []ColumnDef{{Name: "fk", NDV: 1000}, {Name: "m", NDV: 500}}},
+			{Name: "dim", Rows: 1e4, Columns: []ColumnDef{{Name: "pk", NDV: 1000}, {Name: "d", NDV: 100}}},
+		},
+	}
+}
+
+const miniSQL = `SELECT m FROM fact, dim WHERE fk = pk`
+
+// TestIdenticalSchemasShareCache: two catalogs registered under different
+// names with identical schemas share fingerprint-keyed estimates — the
+// first half of the keying bug class the old catalogName|...|sql key had.
+func TestIdenticalSchemasShareCache(t *testing.T) {
+	srv := New(Config{Workers: 2, CacheCapacity: 16})
+	ctx := context.Background()
+	for _, name := range []string{"alpha", "beta"} {
+		if _, err := srv.Registry().Register(miniDef(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := srv.Estimate(ctx, EstimateRequest{Catalog: "alpha", SQL: miniSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first estimate cached")
+	}
+	second, err := srv.Estimate(ctx, EstimateRequest{Catalog: "beta", SQL: miniSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("identical schema under another name missed")
+	}
+}
+
+// TestCatalogReuploadInvalidates: re-registering a catalog bumps its epoch,
+// so estimates cached against the old statistics are unreachable.
+func TestCatalogReuploadInvalidates(t *testing.T) {
+	srv := New(Config{Workers: 2, CacheCapacity: 16})
+	ctx := context.Background()
+	if _, err := srv.Registry().Register(miniDef("mini")); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := srv.Estimate(ctx, EstimateRequest{Catalog: "mini", SQL: miniSQL}); err != nil || r.Cached {
+		t.Fatalf("cold: %v cached=%v", err, r.Cached)
+	}
+	if r, err := srv.Estimate(ctx, EstimateRequest{Catalog: "mini", SQL: miniSQL}); err != nil || !r.Cached {
+		t.Fatalf("warm: %v cached=%v", err, r != nil && r.Cached)
+	}
+	if _, err := srv.Registry().Register(miniDef("mini")); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := srv.Estimate(ctx, EstimateRequest{Catalog: "mini", SQL: miniSQL}); err != nil || r.Cached {
+		t.Fatalf("post-reupload estimate served stale cache: %v cached=%v", err, r != nil && r.Cached)
+	}
+}
+
+// TestSingleflightShared drives EstimateCache.Do directly with a blocking
+// leader: concurrent callers of the same key must wait for the one
+// computation instead of running their own, and a caller abandoned by its
+// context must return promptly.
+func TestSingleflightShared(t *testing.T) {
+	c := NewEstimateCache(4)
+	key := EstimateKey{Level: 3, Nodes: 1}
+	want := &core.Estimate{Joins: 42}
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var leaderErr error
+	var leaderEst *core.Estimate
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderEst, _, _, leaderErr = c.Do(context.Background(), key, func() (*core.Estimate, error) {
+			close(started)
+			<-release
+			return want, nil
+		})
+	}()
+	<-started
+
+	// A waiter with a dead context abandons the flight without an estimate.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, shared, err := c.Do(cancelled, key, nil); !shared || err == nil {
+		t.Fatalf("cancelled waiter: shared=%v err=%v", shared, err)
+	}
+
+	waiters := 3
+	results := make(chan *core.Estimate, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			est, hit, shared, err := c.Do(context.Background(), key, func() (*core.Estimate, error) {
+				t.Error("waiter ran its own computation")
+				return nil, nil
+			})
+			if err != nil || hit || !shared {
+				t.Errorf("waiter: hit=%v shared=%v err=%v", hit, shared, err)
+			}
+			results <- est
+		}()
+	}
+	// Give the waiters a moment to park on the flight, then release it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if leaderErr != nil || leaderEst != want {
+		t.Fatalf("leader: %v %p", leaderErr, leaderEst)
+	}
+	for i := 0; i < waiters; i++ {
+		if got := <-results; got != want {
+			t.Fatalf("waiter got %p, want %p", got, want)
+		}
+	}
+	if shared := c.Shared(); shared != int64(waiters)+1 {
+		t.Fatalf("shared count %d, want %d", shared, waiters+1)
+	}
+	// The flight's result is cached for later callers.
+	if _, hit, _, _ := c.Do(context.Background(), key, nil); !hit {
+		t.Fatal("post-flight lookup missed")
+	}
+}
+
+// TestEstimateBatch covers the dedup path: repeats by structure ride along
+// with one estimation, malformed statements fail item-locally.
+func TestEstimateBatch(t *testing.T) {
+	srv := New(Config{Workers: 2, CacheCapacity: 16})
+	ctx := context.Background()
+	resp, err := srv.EstimateBatch(ctx, EstimateBatchRequest{
+		Catalog: "tpch",
+		Statements: []string{
+			respellA,
+			respellB, // same structure, different spelling
+			`SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey`,
+			`SELECT nothing FROM nowhere`,
+			"",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Distinct != 2 || resp.Deduped != 1 {
+		t.Fatalf("distinct=%d deduped=%d, want 2/1", resp.Distinct, resp.Deduped)
+	}
+	if !resp.Items[1].Deduped || resp.Items[0].Deduped {
+		t.Fatalf("dedup flags wrong: %+v", resp.Items[:2])
+	}
+	if resp.Items[0].Fingerprint == "" || resp.Items[0].Fingerprint != resp.Items[1].Fingerprint {
+		t.Fatalf("fingerprints %q vs %q", resp.Items[0].Fingerprint, resp.Items[1].Fingerprint)
+	}
+	if resp.Items[0].Estimate == nil || resp.Items[1].Estimate == nil ||
+		resp.Items[0].Estimate.Counts != resp.Items[1].Estimate.Counts {
+		t.Fatal("deduped statement did not share the estimate")
+	}
+	if !strings.Contains(resp.Items[3].Error, "parse") || resp.Items[3].Estimate != nil {
+		t.Fatalf("bad SQL item: %+v", resp.Items[3])
+	}
+	if resp.Items[4].Error == "" {
+		t.Fatal("empty statement passed")
+	}
+	if got := srv.Metrics().BatchDeduped.Value(); got != 1 {
+		t.Fatalf("BatchDeduped = %d", got)
+	}
+
+	// A repeat batch is all warm: zero additional enumeration.
+	enumBefore := srv.Metrics().StageCount[optctx.StageEnumerate].Value()
+	again, err := srv.EstimateBatch(ctx, EstimateBatchRequest{
+		Catalog:    "tpch",
+		Statements: []string{respellB, respellA},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range again.Items[:1] {
+		if !it.Cached {
+			t.Fatalf("repeat batch item %d not cached", i)
+		}
+	}
+	if got := srv.Metrics().StageCount[optctx.StageEnumerate].Value(); got != enumBefore {
+		t.Fatalf("repeat batch enumerated: %d -> %d", enumBefore, got)
+	}
+
+	// Whole-request failures.
+	if _, err := srv.EstimateBatch(ctx, EstimateBatchRequest{Catalog: "tpch"}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := srv.EstimateBatch(ctx, EstimateBatchRequest{Catalog: "nope", Statements: []string{miniSQL}}); err == nil {
+		t.Fatal("unknown catalog accepted")
+	}
+	if _, err := srv.EstimateBatch(ctx, EstimateBatchRequest{Catalog: "tpch", Statements: make([]string, maxBatchStatements+1)}); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}

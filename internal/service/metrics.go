@@ -109,6 +109,17 @@ type Metrics struct {
 
 	CacheHits   Counter
 	CacheMisses Counter
+	// SharedFlights counts estimate requests served by waiting on another
+	// request's in-flight enumeration of the same fingerprint (the
+	// singleflight path: no cache entry yet, no own enumeration either).
+	SharedFlights Counter
+
+	// BatchRequests / BatchStatements / BatchDeduped instrument
+	// POST /v1/estimate/batch: calls, statements submitted, and statements
+	// answered by another statement of the same batch (same fingerprint).
+	BatchRequests   Counter
+	BatchStatements Counter
+	BatchDeduped    Counter
 
 	AdmissionAccepted   Counter
 	AdmissionRejected   Counter
@@ -170,10 +181,16 @@ func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache) map[string]any {
 			"optimize": m.OptimizeLatency.snapshot(),
 		},
 		"estimate_cache": map[string]int64{
-			"hits":     m.CacheHits.Value(),
-			"misses":   m.CacheMisses.Value(),
-			"size":     int64(size),
-			"capacity": int64(capacity),
+			"hits":           m.CacheHits.Value(),
+			"misses":         m.CacheMisses.Value(),
+			"shared_flights": m.SharedFlights.Value(),
+			"size":           int64(size),
+			"capacity":       int64(capacity),
+		},
+		"estimate_batch": map[string]int64{
+			"requests":   m.BatchRequests.Value(),
+			"statements": m.BatchStatements.Value(),
+			"deduped":    m.BatchDeduped.Value(),
 		},
 		"admission": map[string]int64{
 			"accepted":   m.AdmissionAccepted.Value(),

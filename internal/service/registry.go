@@ -1,8 +1,9 @@
 // Package service turns the cote library into a long-running, multi-tenant
 // estimation daemon: a catalog registry clients compile against, a bounded
 // worker pool that keeps estimation and optimization requests from
-// stampeding the process, an LRU estimate cache keyed by the structural
-// statement signature, a MOP-driven admission controller that prices a full
+// stampeding the process, a singleflight LRU estimate cache keyed by
+// (catalog epoch, structural fingerprint, level) so repeat structures in any
+// spelling skip enumeration, a MOP-driven admission controller that prices a full
 // optimization before running it (the paper's Figure 1 meta-optimizer
 // recast as a serving-side guardrail), and an observability layer exposed
 // at /metrics. cmd/coted wraps it in an HTTP server.
@@ -27,6 +28,12 @@ type RegistryEntry struct {
 	Config *cost.Config
 	// BuiltIn marks the catalogs registered at startup.
 	BuiltIn bool
+	// Epoch is the cache-invalidation generation of this entry: 0 for
+	// built-ins and first registrations, a fresh process-unique value for
+	// every re-upload of an existing name. It is part of EstimateKey, so
+	// estimates cached against a catalog's old statistics die with its old
+	// epoch while first registrations with identical schemas keep sharing.
+	Epoch uint64
 }
 
 // Registry is the goroutine-safe catalog registry. Clients register a
@@ -34,6 +41,9 @@ type RegistryEntry struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*RegistryEntry
+	// epochs is the last epoch handed to a re-uploaded catalog; it only
+	// grows, so an epoch is never reused across names or uploads.
+	epochs uint64
 }
 
 // NewRegistry returns a registry pre-populated with the built-in schemas:
@@ -182,8 +192,14 @@ func (r *Registry) Register(def CatalogDef) (entry *RegistryEntry, err error) {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if prev, ok := r.entries[def.Name]; ok && prev.BuiltIn {
-		return nil, fmt.Errorf("service: catalog %q is built in", def.Name)
+	if prev, ok := r.entries[def.Name]; ok {
+		if prev.BuiltIn {
+			return nil, fmt.Errorf("service: catalog %q is built in", def.Name)
+		}
+		// Re-upload: bump the epoch so fingerprint-keyed estimates cached
+		// against the previous statistics are unreachable.
+		r.epochs++
+		entry.Epoch = r.epochs
 	}
 	r.entries[def.Name] = entry
 	return entry, nil

@@ -12,6 +12,7 @@ import (
 
 	"cote/internal/core"
 	"cote/internal/cost"
+	"cote/internal/fingerprint"
 	"cote/internal/opt"
 	"cote/internal/optctx"
 	"cote/internal/query"
@@ -203,28 +204,55 @@ func (s *Server) parseRequest(catalogName, levelName, sql string) (*RegistryEntr
 	return entry, level, blk, nil
 }
 
-// estimateFor returns the estimate of one (query, level), through the
-// cache when useCache is set. Cached estimates carry no time prediction
-// (see EstimateCache); callers price them with the current model.
+// estimateFor returns the estimate of one (query, level): through the
+// fingerprint-keyed cache when useCache is set, with concurrent identical
+// misses collapsed into one enumeration by the cache's singleflight group.
+// Every mode estimates the canonical rebuild of blk, so responses never
+// depend on whether caching was on (raw-block enumeration counts are
+// numbering-sensitive; see internal/fingerprint). Cached estimates carry no
+// time prediction (see EstimateCache); callers price them with the current
+// model.
+//
+// The returned cached flag reports that this request ran no enumeration of
+// its own — an LRU hit or a wait on another request's in-flight run.
 func (s *Server) estimateFor(ctx context.Context, entry *RegistryEntry, blk *query.Block, level opt.Level, useCache bool) (*core.Estimate, bool, error) {
-	key := EstimateKey(entry.Name, level, entry.Config.Nodes, blk)
-	if useCache {
-		if e, ok := s.cache.Get(key); ok {
-			s.metrics.CacheHits.Add()
-			return e, true, nil
+	// Hash up front (cheap, needed for the key); rebuild the canonical block
+	// only inside run, which executes solely when an enumeration is due.
+	fp := fingerprint.Of(blk)
+	run := func() (*core.Estimate, error) {
+		est, err := Run(s.pool, ctx, func() (*core.Estimate, error) {
+			canon, _, err := fingerprint.Canonical(blk)
+			if err != nil {
+				return nil, err
+			}
+			return core.EstimatePlansCtx(ctx, canon, core.Options{Level: level, Config: entry.Config})
+		})
+		if err == nil {
+			// The enumerate stage moves only when an enumeration really ran:
+			// the warm-path zero-enumeration guarantee is asserted on this
+			// counter.
+			s.metrics.ObserveStage(optctx.StageEnumerate, int64(est.Joins), est.Elapsed)
 		}
-		s.metrics.CacheMisses.Add()
+		return est, err
 	}
-	est, err := Run(s.pool, ctx, func() (*core.Estimate, error) {
-		return core.EstimatePlansCtx(ctx, blk, core.Options{Level: level, Config: entry.Config})
-	})
+	if !useCache {
+		est, err := run()
+		return est, false, err
+	}
+	key := EstimateKey{Epoch: entry.Epoch, FP: fp, Level: level, Nodes: entry.Config.Nodes}
+	est, hit, shared, err := s.cache.Do(ctx, key, run)
 	if err != nil {
 		return nil, false, err
 	}
-	if useCache {
-		s.cache.Put(key, est)
+	switch {
+	case hit:
+		s.metrics.CacheHits.Add()
+	case shared:
+		s.metrics.SharedFlights.Add()
+	default:
+		s.metrics.CacheMisses.Add()
 	}
-	return est, false, nil
+	return est, hit || shared, nil
 }
 
 // requestCtx applies the configured per-request timeout.
@@ -282,6 +310,141 @@ func (s *Server) Estimate(ctx context.Context, req EstimateRequest) (*EstimateRe
 		Cached:   cached,
 		Estimate: &out,
 	}, nil
+}
+
+// EstimateBatchRequest is the body of POST /v1/estimate/batch: many
+// statements against one catalog and level, estimated once per distinct
+// structure.
+type EstimateBatchRequest struct {
+	Catalog    string   `json:"catalog"`
+	Statements []string `json:"statements"`
+	Level      string   `json:"level,omitempty"`
+	NoCache    bool     `json:"no_cache,omitempty"`
+}
+
+// BatchItem is the per-statement outcome, in submission order.
+type BatchItem struct {
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Deduped marks a statement answered by an earlier statement of this
+	// batch with the same fingerprint: it ran no estimation of its own.
+	Deduped bool `json:"deduped,omitempty"`
+	// Cached reports the group's estimate came without any enumeration
+	// (estimate-cache hit or shared in-flight run).
+	Cached   bool           `json:"cached,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Estimate *core.Estimate `json:"estimate,omitempty"`
+}
+
+// EstimateBatchResponse is the reply: per-statement items plus the batch's
+// dedup accounting (Distinct groups estimated, Deduped statements that rode
+// along).
+type EstimateBatchResponse struct {
+	Catalog  string      `json:"catalog"`
+	Level    string      `json:"level"`
+	Distinct int         `json:"distinct"`
+	Deduped  int         `json:"deduped"`
+	Items    []BatchItem `json:"items"`
+}
+
+// maxBatchStatements bounds one batch request; parameterized workloads
+// should chunk beyond this.
+const maxBatchStatements = 256
+
+// EstimateBatch estimates a slice of statements, deduplicating them by
+// structural fingerprint so each distinct structure is estimated once. A
+// statement that fails to parse (or whose group's estimation fails) gets a
+// per-item error without failing the batch; whole-request problems (bad
+// catalog, dead deadline) fail the request.
+func (s *Server) EstimateBatch(ctx context.Context, req EstimateBatchRequest) (*EstimateBatchResponse, error) {
+	s.metrics.BatchRequests.Add()
+	start := time.Now()
+	defer func() { s.metrics.EstimateLatency.Observe(time.Since(start)) }()
+
+	if req.Catalog == "" {
+		return nil, badRequest("missing catalog")
+	}
+	entry, err := s.registry.Get(req.Catalog)
+	if err != nil {
+		return nil, &apiError{status: http.StatusNotFound, msg: err.Error()}
+	}
+	level, err := ParseLevel(req.Level)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if len(req.Statements) == 0 {
+		return nil, badRequest("missing statements")
+	}
+	if len(req.Statements) > maxBatchStatements {
+		return nil, badRequest("batch of %d statements exceeds the limit of %d", len(req.Statements), maxBatchStatements)
+	}
+	s.metrics.BatchStatements.AddN(int64(len(req.Statements)))
+	ctx, cancel := s.requestCtx(ctx)
+	defer cancel()
+
+	type group struct {
+		blk   *query.Block
+		items []int
+	}
+	resp := &EstimateBatchResponse{
+		Catalog: entry.Name,
+		Level:   LevelName(level),
+		Items:   make([]BatchItem, len(req.Statements)),
+	}
+	groups := make(map[fingerprint.FP]*group)
+	var order []fingerprint.FP
+	for i, sql := range req.Statements {
+		it := &resp.Items[i]
+		if sql == "" {
+			it.Error = "missing sql"
+			continue
+		}
+		parseStart := time.Now()
+		blk, err := sqlparser.Parse(sql, entry.Catalog)
+		s.metrics.ObserveStage(optctx.StageParse, 1, time.Since(parseStart))
+		if err != nil {
+			it.Error = fmt.Sprintf("parse: %v", err)
+			continue
+		}
+		fp := fingerprint.Of(blk)
+		it.Fingerprint = fp.String()
+		g, ok := groups[fp]
+		if !ok {
+			g = &group{blk: blk}
+			groups[fp] = g
+			order = append(order, fp)
+		} else {
+			it.Deduped = true
+			resp.Deduped++
+		}
+		g.items = append(g.items, i)
+	}
+	resp.Distinct = len(order)
+	s.metrics.BatchDeduped.AddN(int64(resp.Deduped))
+
+	m := s.Model()
+	for _, fp := range order {
+		g := groups[fp]
+		est, cached, err := s.estimateFor(ctx, entry, g.blk, level, !req.NoCache)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err // the whole batch is dead, not one group
+			}
+			for _, i := range g.items {
+				resp.Items[i].Error = err.Error()
+			}
+			continue
+		}
+		out := *est
+		out.PredictedTime = 0
+		if m != nil {
+			out.PredictedTime = m.Predict(out.Counts)
+		}
+		for _, i := range g.items {
+			resp.Items[i].Cached = cached
+			resp.Items[i].Estimate = &out
+		}
+	}
+	return resp, nil
 }
 
 // OptimizeRequest is the body of POST /v1/optimize.
@@ -536,6 +699,7 @@ func (s *Server) Calibrate(ctx context.Context, req CalibrateRequest) (*Calibrat
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/estimate/batch", s.handleEstimateBatch)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("POST /v1/calibrate", s.handleCalibrate)
 	mux.HandleFunc("GET /v1/catalogs", s.handleCatalogList)
@@ -598,6 +762,20 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.Estimate(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	var req EstimateBatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.EstimateBatch(r.Context(), req)
 	if err != nil {
 		s.writeError(w, err)
 		return
