@@ -7,12 +7,22 @@
 //
 //	coted [-addr :8334] [-workers N] [-queue N] [-timeout 30s]
 //	      [-cache 1024] [-budget 0] [-budget-factor 0] [-downgrade]
-//	      [-calibrate star] [-parallelism N] [-grace 10s] [-pprof]
+//	      [-calibrate star] [-model-file cote-model.json]
+//	      [-recalibrate-min-samples 8] [-drift-threshold 0.5]
+//	      [-parallelism N] [-grace 10s] [-pprof]
 //
 // Endpoints: POST /v1/estimate, POST /v1/optimize, POST /v1/calibrate,
-// GET/POST /v1/catalogs, GET /v1/progress, GET /metrics, GET /healthz, and
-// — with -pprof — GET /debug/pprof/*. See the README's "Running the coted
-// server" section for curl examples.
+// GET/POST /v1/model, GET /v1/model/history, GET/POST /v1/catalogs,
+// GET /v1/progress, GET /metrics, GET /healthz, and — with -pprof —
+// GET /debug/pprof/*. See the README's "Running the coted server" section
+// for curl examples.
+//
+// The daemon calibrates itself online: every real optimization feeds the
+// drift detector, and when prediction error crosses -drift-threshold the
+// model is refitted over the observation window and installed as a new
+// registry version (rolled back via POST /v1/model). With -model-file the
+// registry persists across restarts, rescaled to each host's speed by a
+// startup micro-benchmark.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting,
 // lets in-flight requests drain for half the -grace period, then cancels
@@ -32,9 +42,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
+	"cote/internal/calib"
+	"cote/internal/modelio"
 	"cote/internal/service"
 )
 
@@ -47,11 +60,39 @@ func main() {
 	budget := flag.Duration("budget", 0, "admission budget: reject/downgrade optimizations predicted to compile longer than this (0 = off)")
 	budgetFactor := flag.Float64("budget-factor", 0, "abort a compile whose generated plans overrun the prediction by this factor (0 = off; needs a model)")
 	downgrade := flag.Bool("downgrade", false, "downgrade over-budget optimizations to a cheaper level instead of rejecting")
-	calibrate := flag.String("calibrate", "", "calibrate the time model on this workload at startup (linear, star, random, real1, real2, tpch)")
 	parallelism := flag.Int("parallelism", 1, "max intra-query parallelism per optimize request (workers default shrinks to compensate)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown window; in-flight work is cancelled halfway through")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof endpoints for profiling")
+	recalMin := flag.Int("recalibrate-min-samples", 0, "observations required in the window before an online refit (0 = default 8)")
+	driftThreshold := flag.Float64("drift-threshold", 0, "mean relative prediction error that triggers online recalibration (0 = default 0.5, negative = track drift but never auto-refit)")
+	var mf modelio.Flags
+	mf.Register(flag.CommandLine, "")
 	flag.Parse()
+
+	reg, err := mf.LoadRegistry(0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coted: %v\n", err)
+		os.Exit(1)
+	}
+	if v := reg.Current(); v != nil {
+		log.Printf("loaded model v%d (%s) from %s: %v", v.Version, v.Source, mf.ModelFile, v.Model)
+	}
+	// OnSwap persists every installed version (refits, uploads, rollbacks)
+	// back to -model-file; the mutex keeps concurrent swaps from racing the
+	// temp-file rename.
+	var persistMu sync.Mutex
+	persist := func(v *calib.ModelVersion) {
+		if mf.ModelFile == "" {
+			return
+		}
+		persistMu.Lock()
+		defer persistMu.Unlock()
+		if err := mf.Save(reg); err != nil {
+			log.Printf("warning: persisting model registry: %v", err)
+		} else {
+			log.Printf("model v%d (%s) persisted to %s", v.Version, v.Source, mf.ModelFile)
+		}
+	}
 
 	cfg := service.Config{
 		Workers:        *workers,
@@ -62,19 +103,25 @@ func main() {
 		BudgetFactor:   *budgetFactor,
 		Downgrade:      *downgrade,
 		MaxParallelism: *parallelism,
+		Models:         reg,
+		Calib: calib.Config{
+			MinSamples:     *recalMin,
+			DriftThreshold: *driftThreshold,
+			OnSwap:         persist,
+		},
 	}
 	srv := service.New(cfg)
 
-	if *calibrate != "" {
-		log.Printf("calibrating time model on workload %q ...", *calibrate)
-		resp, err := srv.Calibrate(context.Background(), service.CalibrateRequest{Workload: *calibrate})
+	if mf.Calibrate != "" {
+		log.Printf("calibrating time model on workload %q ...", mf.Calibrate)
+		resp, err := srv.Calibrate(context.Background(), service.CalibrateRequest{Workload: mf.Calibrate})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "coted: calibrate: %v\n", err)
 			os.Exit(1)
 		}
 		log.Printf("calibrated on %d points: %s", resp.Points, resp.Model)
-	} else if *budget > 0 {
-		log.Printf("warning: -budget set without -calibrate; admission bypasses until POST /v1/calibrate installs a model")
+	} else if *budget > 0 && srv.Model() == nil {
+		log.Printf("warning: -budget set without a model; admission bypasses until -calibrate, -model-file or POST /v1/calibrate installs one")
 	}
 
 	handler := srv.Handler()

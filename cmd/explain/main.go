@@ -6,11 +6,13 @@
 // Usage:
 //
 //	explain [-catalog tpch|warehouse1|warehouse2] [-nodes 1|4] [-level high|inner2|zigzag|leftdeep]
-//	        [-timeout 0] 'SELECT ...'
+//	        [-timeout 0] [-model-file f.json] [-calibrate star] 'SELECT ...'
 //
 // With no query argument, a TPC-H demonstration query is used. -timeout
 // bounds the whole run (compile + estimate); an expired deadline stops the
-// optimizer cooperatively mid-enumeration.
+// optimizer cooperatively mid-enumeration. With a time model (-model-file,
+// or -calibrate to fit one on a named workload) the estimator also reports
+// the wall-clock compilation-time prediction.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"cote"
+	"cote/internal/modelio"
 )
 
 const demoQuery = `
@@ -38,6 +41,8 @@ func main() {
 	nodes := flag.Int("nodes", 1, "logical nodes (1 = serial, 4 = the paper's parallel setup)")
 	levelName := flag.String("level", "inner2", "optimization level: high, inner2, zigzag, leftdeep")
 	timeout := flag.Duration("timeout", 0, "deadline for compile + estimate (0 = none)")
+	var mf modelio.Flags
+	mf.Register(flag.CommandLine, "")
 	flag.Parse()
 
 	sql := strings.Join(flag.Args(), " ")
@@ -101,7 +106,18 @@ func main() {
 	fmt.Printf("time %v | %d join pairs (%d ordered) | plans generated: %v\n",
 		res.Elapsed, pairs, ordered, actual)
 
-	est, err := cote.EstimatePlansCtx(ctx, q, cote.EstimateOptions{Level: level, Config: cfg})
+	model, reg, err := mf.Resolve(*nodes)
+	if err != nil {
+		fatalf("model: %v", err)
+	}
+	if model != nil {
+		fmt.Printf("\ntime model (v%d, %s): %v\n", reg.Version(), reg.Current().Source, model)
+		if err := mf.Save(reg); err != nil {
+			fatalf("model: %v", err)
+		}
+	}
+
+	est, err := cote.EstimatePlansCtx(ctx, q, cote.EstimateOptions{Level: level, Config: cfg, Model: model})
 	if err != nil {
 		fatalf("estimate: %v", err)
 	}

@@ -7,11 +7,14 @@
 // Usage:
 //
 //	mop [-workload real1|real2|tpch|star|linear|random] [-nodes 1|4] [-static]
-//	    [-timeout 0] [-budget-factor 0]
+//	    [-timeout 0] [-budget-factor 0] [-model-file f.json] [-calibrate star]
 //
 // -timeout bounds each query's meta-optimization; -budget-factor aborts a
 // recompile whose generated plans overrun the prediction by that factor and
-// retries at the next-lower level.
+// retries at the next-lower level. The time model comes from -model-file
+// when it holds one, else from calibrating on the -calibrate workload; every
+// real compilation feeds the online calibrator, and -model-file (when set)
+// receives the post-run registry, so repeated runs keep improving the model.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"os"
 
 	"cote"
+	"cote/internal/modelio"
 )
 
 func main() {
@@ -29,6 +33,8 @@ func main() {
 	static := flag.Bool("static", false, "treat queries as static (repeatedly executed): 10x compile budget")
 	timeout := flag.Duration("timeout", 0, "per-query meta-optimization deadline (0 = none)")
 	budgetFactor := flag.Float64("budget-factor", 0, "abort+downgrade a recompile overrunning the predicted plan count by this factor (0 = off)")
+	var mf modelio.Flags
+	mf.Register(flag.CommandLine, "star")
 	flag.Parse()
 
 	var w *cote.Workload
@@ -54,26 +60,24 @@ func main() {
 		cfg = cote.Parallel4
 	}
 
-	// Calibrate the time model on the synthetic workloads.
-	fmt.Println("calibrating the compilation-time model on the star workload ...")
-	var training []cote.TrainingPoint
-	for _, q := range cote.StarWorkload(*nodes).Queries {
-		res, err := cote.Optimize(q.Block, cote.OptimizeOptions{Level: cote.LevelHighInner2, Config: cfg})
-		if err != nil {
-			fatal(err)
-		}
-		training = append(training, cote.TrainingPointFrom(res))
-	}
-	model, err := cote.Calibrate(training)
+	model, reg, err := mf.Resolve(*nodes)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("model: %v\n\n", model)
+	if model == nil {
+		fmt.Fprintln(os.Stderr, "mop: no time model (set -model-file or -calibrate)")
+		os.Exit(1)
+	}
+	fmt.Printf("model (v%d, %s): %v\n\n", reg.Version(), reg.Current().Source, model)
 
+	// The registry supplies the model per run and the calibrator observes
+	// every real compilation, so a drifting model heals mid-workload.
+	cal := cote.NewCalibrator(reg, cote.CalibratorConfig{})
 	mop := &cote.MetaOptimizer{
 		High:         cote.LevelHighInner2,
 		Config:       cfg,
-		Model:        model,
+		Models:       reg,
+		Observer:     cal,
 		Static:       *static,
 		BudgetFactor: *budgetFactor,
 	}
@@ -105,6 +109,13 @@ func main() {
 		fmt.Printf("; %d level(s) budget-aborted", aborted)
 	}
 	fmt.Println()
+	if st := cal.Stats(); st.Recalibrations > 0 {
+		fmt.Printf("online calibration refitted the model %d time(s); now v%d (drift %.2f)\n",
+			st.Recalibrations, reg.Version(), st.Drift)
+	}
+	if err := mf.Save(reg); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -27,6 +27,7 @@ package cote
 import (
 	"context"
 
+	"cote/internal/calib"
 	"cote/internal/catalog"
 	"cote/internal/core"
 	"cote/internal/cost"
@@ -231,6 +232,64 @@ func Calibrate(training []TrainingPoint) (*TimeModel, error) { return core.Calib
 // conditioned.
 func TrainingPointFrom(res *OptimizeResult) TrainingPoint {
 	return core.TrainingPointFrom(res.TotalCounters(), res.Elapsed)
+}
+
+// JoinCountModel is the prior-work baseline time model: T scales with the
+// Ono-Lohman join count instead of the generated-plan counts.
+type JoinCountModel = core.JoinCountModel
+
+// CompileObservation pairs one real compilation's plan counts and measured
+// wall time with the prediction that was made for it — the feedback unit of
+// online calibration.
+type CompileObservation = core.CompileObservation
+
+// CompileObserver receives one CompileObservation per real compilation; a
+// Calibrator is one (set it as MetaOptimizer.Observer to close the loop).
+type CompileObserver = core.CompileObserver
+
+// ModelProvider supplies the current time model on every read; a
+// ModelRegistry is one (set it as MetaOptimizer.Models or
+// EstimateOptions.Models so calibration swaps apply immediately).
+type ModelProvider = core.ModelProvider
+
+// ModelVersion is one immutable, monotonically numbered model snapshot in a
+// ModelRegistry, with its provenance.
+type ModelVersion = calib.ModelVersion
+
+// ModelRegistry is a versioned TimeModel store: reads are a single atomic
+// load, installs advance a monotonic version, history is retained for
+// rollback, and the whole registry round-trips to JSON on disk.
+type ModelRegistry = calib.Registry
+
+// NewModelRegistry returns an empty registry retaining at most retain
+// versions (16 when retain <= 0).
+func NewModelRegistry(retain int) *ModelRegistry { return calib.NewRegistry(retain) }
+
+// LoadModelRegistry loads a registry persisted by its Save method. A
+// missing file yields an empty registry. hostTinst (this host's measured
+// per-instruction time, see MeasureTinst) rescales the persisted models to
+// this machine's speed; zero keeps them as saved.
+func LoadModelRegistry(path string, retain int, hostTinst float64) (*ModelRegistry, error) {
+	return calib.Load(path, retain, hostTinst)
+}
+
+// MeasureTinst micro-benchmarks this host's effective seconds-per-
+// instruction, the Tinst scale factor persisted registries are normalized
+// by.
+func MeasureTinst() float64 { return calib.MeasureTinst() }
+
+// CalibratorConfig parameterizes the online calibration loop; the zero
+// value enables automatic recalibration with the package defaults.
+type CalibratorConfig = calib.Config
+
+// Calibrator closes the calibration feedback loop: it observes real
+// compilations, tracks prediction drift, and refits the model over the
+// observation window into its registry when drift crosses the threshold.
+type Calibrator = calib.Calibrator
+
+// NewCalibrator returns a calibrator feeding reg.
+func NewCalibrator(reg *ModelRegistry, cfg CalibratorConfig) *Calibrator {
+	return calib.NewCalibrator(reg, cfg)
 }
 
 // MetaOptimizer is the paper's Figure 1 application: compile at the low

@@ -1,0 +1,274 @@
+package calib
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"cote/internal/core"
+	"cote/internal/props"
+	"cote/internal/stats"
+)
+
+// Calibrator defaults; see Config.
+const (
+	DefaultMinSamples = 8
+	DefaultHysteresis = 1.2
+)
+
+// Config parameterizes the online calibration loop. The zero value enables
+// automatic recalibration with the package defaults.
+type Config struct {
+	// WindowSize bounds the observation log (DefaultLogCapacity).
+	WindowSize int
+	// MinSamples gates recalibration: no refit before this many
+	// observations sit in the window (DefaultMinSamples; it is also raised
+	// to the regression's own minimum, one more than the constant count).
+	MinSamples int
+	// DriftWindow sizes the rolling prediction-error window
+	// (DefaultDriftWindow).
+	DriftWindow int
+	// DriftThreshold is the mean relative error beyond which the model
+	// counts as drifted (DefaultDriftThreshold). Negative disables
+	// automatic recalibration entirely — drift is still tracked and
+	// reported, but only explicit Recalibrate calls refit.
+	DriftThreshold float64
+	// DriftMinSamples is the minimum error-window fill before drift can
+	// fire (DefaultDriftMinSamples).
+	DriftMinSamples int
+	// Hysteresis is the improvement factor a candidate model must show
+	// over the incumbent on the observation window before it is installed:
+	// incumbentErr >= Hysteresis * candidateErr (DefaultHysteresis). It
+	// keeps the registry from churning versions on noise. Values <= 1 mean
+	// any improvement installs.
+	Hysteresis float64
+	// Cooldown is the minimum number of observations between automatic
+	// refit attempts (default MinSamples), bounding refit CPU under a
+	// persistently drifting workload.
+	Cooldown int
+	// OnSwap, when non-nil, runs after every successful install with the
+	// new version (the daemon persists the registry here). Called
+	// synchronously; keep it cheap.
+	OnSwap func(*ModelVersion)
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSize <= 0 {
+		c.WindowSize = DefaultLogCapacity
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	if c.DriftWindow <= 0 {
+		c.DriftWindow = DefaultDriftWindow
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = DefaultDriftThreshold
+	}
+	if c.DriftMinSamples <= 0 {
+		c.DriftMinSamples = DefaultDriftMinSamples
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = DefaultHysteresis
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.MinSamples
+	}
+	return c
+}
+
+// ErrNotEnoughSamples reports a refit attempted before the window holds
+// MinSamples observations.
+var ErrNotEnoughSamples = errors.New("calib: not enough observations to recalibrate")
+
+// ErrNoImprovement reports a refit whose candidate did not beat the
+// incumbent by the hysteresis margin and was therefore not installed.
+var ErrNoImprovement = errors.New("calib: recalibrated model not better than incumbent")
+
+// Stats is a snapshot of the loop's counters for metrics endpoints.
+type Stats struct {
+	// Observations counts every sample ever fed to the calibrator.
+	Observations int64
+	// WindowLen / WindowCap describe the observation log's fill.
+	WindowLen, WindowCap int
+	// Drift is the current mean relative prediction error; Degraded
+	// reports it crossed the threshold with enough samples.
+	Drift    float64
+	Degraded bool
+	// Recalibrations counts installed refits; Rejected counts refits that
+	// fit but failed the hysteresis test; Failures counts refits whose
+	// regression errored (singular window and the like).
+	Recalibrations, Rejected, Failures int64
+}
+
+// Calibrator closes the feedback loop: it implements core.CompileObserver,
+// folding every real compilation into the observation log and the drift
+// detector, and — when the installed model has drifted and enough samples
+// accumulated — refits the per-method constants over the window and
+// installs the result in the registry behind a hysteresis gate.
+type Calibrator struct {
+	cfg   Config
+	log   *Log
+	drift *DriftDetector
+	reg   *Registry
+
+	// refitMu serializes refits; sinceAttempt (under it) spaces automatic
+	// attempts Cooldown observations apart.
+	refitMu      sync.Mutex
+	sinceAttempt int
+
+	observations   atomic.Int64
+	recalibrations atomic.Int64
+	rejected       atomic.Int64
+	failures       atomic.Int64
+}
+
+// NewCalibrator returns a calibrator feeding reg. reg may already hold a
+// model (the offline seed); an empty registry is also fine — the first
+// successful refit installs version 1.
+func NewCalibrator(reg *Registry, cfg Config) *Calibrator {
+	cfg = cfg.withDefaults()
+	return &Calibrator{
+		cfg:   cfg,
+		log:   NewLog(cfg.WindowSize),
+		drift: NewDriftDetector(cfg.DriftWindow, cfg.DriftThreshold, cfg.DriftMinSamples),
+		reg:   reg,
+	}
+}
+
+// Registry returns the model registry the calibrator installs into.
+func (c *Calibrator) Registry() *Registry { return c.reg }
+
+// Log returns the observation window.
+func (c *Calibrator) Log() *Log { return c.log }
+
+// Drift returns the current mean relative prediction error.
+func (c *Calibrator) Drift() float64 { return c.drift.Drift() }
+
+// Degraded reports whether prediction error has crossed the drift
+// threshold.
+func (c *Calibrator) Degraded() bool { return c.drift.Degraded() }
+
+// Stats snapshots the loop's counters.
+func (c *Calibrator) Stats() Stats {
+	return Stats{
+		Observations:   c.observations.Load(),
+		WindowLen:      c.log.Len(),
+		WindowCap:      c.log.Cap(),
+		Drift:          c.drift.Drift(),
+		Degraded:       c.drift.Degraded(),
+		Recalibrations: c.recalibrations.Load(),
+		Rejected:       c.rejected.Load(),
+		Failures:       c.failures.Load(),
+	}
+}
+
+// ObserveCompile folds one real compilation into the loop (the
+// core.CompileObserver hook): the sample joins the window, its prediction
+// error joins the drift window, and — when drift has fired, the window
+// holds enough samples, and the cooldown since the last attempt has passed
+// — a recalibration runs synchronously. Observations with a non-positive
+// measured time are dropped (nothing to learn from them).
+func (c *Calibrator) ObserveCompile(o Observation) {
+	if o.Actual <= 0 {
+		return
+	}
+	c.observations.Add(1)
+	c.log.Add(o)
+	predicted := o.Predicted
+	if predicted == 0 {
+		if m := c.reg.CurrentModel(); m != nil {
+			predicted = m.Predict(o.Counts)
+		}
+	}
+	if predicted > 0 {
+		c.drift.Observe(stats.RelErr(predicted.Seconds(), o.Actual.Seconds()))
+	}
+	if c.cfg.DriftThreshold < 0 {
+		return
+	}
+
+	c.refitMu.Lock()
+	c.sinceAttempt++
+	due := c.sinceAttempt >= c.cfg.Cooldown &&
+		c.log.Len() >= c.minSamples() &&
+		(c.drift.Degraded() || c.reg.CurrentModel() == nil)
+	if due {
+		c.sinceAttempt = 0
+	}
+	c.refitMu.Unlock()
+	if due {
+		// Outcome bookkeeping happens inside; an auto refit that fails
+		// (singular window) or is rejected simply waits out the next
+		// cooldown.
+		_, _ = c.Recalibrate("recalibrate")
+	}
+}
+
+// minSamples is the effective refit gate: the configured minimum, but
+// never below what the regression itself needs.
+func (c *Calibrator) minSamples() int {
+	min := c.cfg.MinSamples
+	if floor := int(props.NumJoinMethods) + 1; min < floor {
+		min = floor
+	}
+	return min
+}
+
+// Recalibrate refits the model over the current observation window and
+// installs it (source tags the registry entry) when it beats the incumbent
+// by the hysteresis margin on that same window. It returns the installed
+// version, ErrNoImprovement when the candidate lost, ErrNotEnoughSamples
+// on a thin window, or the regression's error. A successful install resets
+// the drift window.
+func (c *Calibrator) Recalibrate(source string) (*ModelVersion, error) {
+	c.refitMu.Lock()
+	defer c.refitMu.Unlock()
+
+	window := c.log.Snapshot()
+	if len(window) < c.minSamples() {
+		return nil, ErrNotEnoughSamples
+	}
+	training := make([]core.TrainingPoint, len(window))
+	for i, o := range window {
+		training[i] = o.TrainingPoint()
+	}
+	candidate, err := core.Calibrate(training)
+	if err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	candErr := windowError(candidate, window)
+	incumbent := c.reg.CurrentModel()
+	if incumbent != nil {
+		if incErr := windowError(incumbent, window); incErr < candErr*c.cfg.Hysteresis {
+			c.rejected.Add(1)
+			return nil, ErrNoImprovement
+		}
+	}
+	v := c.reg.Install(candidate, source, len(window), candErr)
+	c.recalibrations.Add(1)
+	c.drift.Reset()
+	if c.cfg.OnSwap != nil {
+		c.cfg.OnSwap(v)
+	}
+	return v, nil
+}
+
+// windowError is the mean relative error of a model's predictions over a
+// window of observations.
+func windowError(m *core.TimeModel, window []Observation) float64 {
+	var sum float64
+	var n int
+	for _, o := range window {
+		if o.Actual <= 0 {
+			continue
+		}
+		sum += stats.RelErr(m.Predict(o.Counts).Seconds(), o.Actual.Seconds())
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,33 @@
+package calib
+
+import (
+	"time"
+)
+
+// tinstSink defeats dead-code elimination of the benchmark kernel.
+var tinstSink float64
+
+// MeasureTinst times a fixed floating-point kernel and returns this host's
+// seconds per abstract instruction — the paper's machine-dependent Tinst
+// scale (Section 3.5), measured instead of assumed. The absolute value is
+// nominal; what matters is the ratio between two hosts, which is how
+// persisted registries are rescaled on load (see Load). The kernel is the
+// multiply-add mix plan generation is made of, run three times with the
+// fastest kept so a scheduling hiccup cannot inflate the result.
+func MeasureTinst() float64 {
+	const ops = 1 << 21
+	best := time.Duration(1<<63 - 1)
+	acc := 1.0
+	for run := 0; run < 3; run++ {
+		start := time.Now()
+		x, y := 1.000000119, 0.999999881
+		for i := 0; i < ops; i++ {
+			acc = acc*x + y
+		}
+		if el := time.Since(start); el < best {
+			best = el
+		}
+	}
+	tinstSink = acc
+	return best.Seconds() / ops
+}

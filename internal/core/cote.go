@@ -34,6 +34,11 @@ type Options struct {
 	CartesianPolicy enum.CartesianPolicy
 	// Model converts plan counts to a time prediction when non-nil.
 	Model *TimeModel
+	// Models supplies the current model from a registry when Model is nil
+	// (internal/calib's versioned registry implements it): the provider is
+	// read once per run, so a mid-stream model swap is picked up by the
+	// next estimation without re-wiring options.
+	Models ModelProvider
 	// Exec, when non-nil, bounds the estimation run: its cancellation is
 	// honored at block and enumeration granularity. Estimation is cheap
 	// (sub-3% of real compilation), but deadline-sensitive callers want even
@@ -115,10 +120,22 @@ func EstimatePlans(blk *query.Block, opts Options) (*Estimate, error) {
 		}
 	}
 	est.Elapsed = time.Since(start)
-	if opts.Model != nil {
-		est.PredictedTime = opts.Model.Predict(est.Counts)
+	if m := opts.model(); m != nil {
+		est.PredictedTime = m.Predict(est.Counts)
 	}
 	return est, nil
+}
+
+// model resolves the effective time model: an explicit Model wins, then
+// the registry provider, then none.
+func (o Options) model() *TimeModel {
+	if o.Model != nil {
+		return o.Model
+	}
+	if o.Models != nil {
+		return o.Models.CurrentModel()
+	}
+	return nil
 }
 
 // EstimatePlansCtx is EstimatePlans bounded by a context: when ctx expires

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cote/internal/cost"
+	"cote/internal/fingerprint"
 	"cote/internal/opt"
 	"cote/internal/optctx"
 	"cote/internal/query"
@@ -47,8 +48,18 @@ type MOP struct {
 	High opt.Level
 	// Config selects serial or parallel.
 	Config *cost.Config
-	// Model converts plan counts to compilation time; required.
+	// Model converts plan counts to compilation time. When nil, Models is
+	// consulted instead; one of the two must yield a model.
 	Model *TimeModel
+	// Models supplies the current model from a versioned registry when
+	// Model is nil (read once per Run, so calibration swaps apply to the
+	// next meta-optimization).
+	Models ModelProvider
+	// Observer, when non-nil, receives one CompileObservation per real
+	// compilation the meta-optimizer runs (the low-level compile and any
+	// successful recompilation) — the feedback that keeps an online
+	// calibrator's model honest.
+	Observer CompileObserver
 	// ExecTinst converts plan execution cost units to time (the executor's
 	// seconds-per-instruction; defaults to the model's Tinst).
 	ExecTinst float64
@@ -87,9 +98,13 @@ func (m *MOP) RunCtx(ctx context.Context, blk *query.Block) (*opt.Result, *MOPDe
 	if high == opt.LevelLow {
 		high = opt.LevelHighInner2
 	}
+	model := m.Model
+	if model == nil && m.Models != nil {
+		model = m.Models.CurrentModel()
+	}
 	execTinst := m.ExecTinst
-	if execTinst == 0 && m.Model != nil {
-		execTinst = m.Model.Tinst
+	if execTinst == 0 && model != nil {
+		execTinst = model.Tinst
 	}
 	threshold := m.Threshold
 	if threshold <= 0 {
@@ -103,13 +118,17 @@ func (m *MOP) RunCtx(ctx context.Context, blk *query.Block) (*opt.Result, *MOPDe
 	if err != nil {
 		return nil, nil, err
 	}
+	// The low-level compile carries no prediction (nothing priced it), but
+	// its counts and time still train the calibrator — and decorrelate the
+	// regression from the high-level observations.
+	m.observe(blk, opt.LevelLow, 0, low)
 	dec := &MOPDecision{
 		LowPlanExecCost: time.Duration(low.Plan.Cost * execTinst * float64(time.Second)),
 		FinalLevel:      opt.LevelLow,
 		FinalPlanCost:   time.Duration(low.Plan.Cost * execTinst * float64(time.Second)),
 	}
 
-	est, err := EstimatePlansCtx(ctx, blk, Options{Level: high, Config: m.Config, Model: m.Model})
+	est, err := EstimatePlansCtx(ctx, blk, Options{Level: high, Config: m.Config, Model: model})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -117,7 +136,7 @@ func (m *MOP) RunCtx(ctx context.Context, blk *query.Block) (*opt.Result, *MOPDe
 
 	result := low
 	if float64(dec.HighCompileEstimate) < threshold*float64(dec.LowPlanExecCost) {
-		res, level, err := m.recompile(ctx, blk, high, est, dec)
+		res, level, err := m.recompile(ctx, blk, high, model, est, dec)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -138,13 +157,13 @@ func (m *MOP) RunCtx(ctx context.Context, blk *query.Block) (*opt.Result, *MOPDe
 // (re-estimating its plan count); when every DP level aborts, recompile
 // returns nil and the caller keeps the greedy plan. Context errors
 // propagate — a deadline ends the whole loop, not one rung.
-func (m *MOP) recompile(ctx context.Context, blk *query.Block, high opt.Level, est *Estimate, dec *MOPDecision) (*opt.Result, opt.Level, error) {
+func (m *MOP) recompile(ctx context.Context, blk *query.Block, high opt.Level, model *TimeModel, est *Estimate, dec *MOPDecision) (*opt.Result, opt.Level, error) {
 	for level := high; level != opt.LevelLow; level = level.NextLower() {
 		if level != high {
 			// Dropping a rung changes the search space, so the budget's
 			// baseline must be re-predicted for the new level.
 			var err error
-			est, err = EstimatePlansCtx(ctx, blk, Options{Level: level, Config: m.Config, Model: m.Model})
+			est, err = EstimatePlansCtx(ctx, blk, Options{Level: level, Config: m.Config, Model: model})
 			if err != nil {
 				return nil, 0, err
 			}
@@ -157,6 +176,9 @@ func (m *MOP) recompile(ctx context.Context, blk *query.Block, high opt.Level, e
 		}
 		res, err := opt.OptimizeWith(oc, blk, opt.Options{Level: level, Config: m.Config, Parallelism: m.Parallelism})
 		if err == nil {
+			// One prediction, one measurement: the pair the drift detector
+			// scores the model on.
+			m.observe(blk, level, est.PredictedTime, res)
 			return res, level, nil
 		}
 		if !errors.Is(err, optctx.ErrBudgetExceeded) {
@@ -165,4 +187,12 @@ func (m *MOP) recompile(ctx context.Context, blk *query.Block, high opt.Level, e
 		dec.AbortedLevels = append(dec.AbortedLevels, level)
 	}
 	return nil, 0, nil
+}
+
+// observe forwards one real compilation to the observer, if any.
+func (m *MOP) observe(blk *query.Block, level opt.Level, predicted time.Duration, res *opt.Result) {
+	if m.Observer == nil {
+		return
+	}
+	m.Observer.ObserveCompile(ObservationFrom(res.TotalCounters(), level, fingerprint.Of(blk), predicted, res.Elapsed))
 }

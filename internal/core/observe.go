@@ -1,0 +1,60 @@
+package core
+
+import (
+	"time"
+
+	"cote/internal/fingerprint"
+	"cote/internal/opt"
+	"cote/internal/plangen"
+	"cote/internal/props"
+)
+
+// CompileObservation is the record of one real compilation, in the form the
+// online calibration loop consumes: the plan counts the optimizer actually
+// generated, the level it ran at, the query's structural fingerprint, the
+// COTE prediction priced before the run (zero when no model was installed),
+// and the measured wall-clock time. GenSeconds carries the per-method
+// generation timing that keeps Calibrate well conditioned, exactly as
+// TrainingPoint does for offline fits.
+type CompileObservation struct {
+	Counts      PlanCounts
+	Level       opt.Level
+	Fingerprint fingerprint.FP
+	Predicted   time.Duration
+	Actual      time.Duration
+	GenSeconds  [props.NumJoinMethods]float64
+}
+
+// ObservationFrom builds an observation from one real optimization's
+// counters, mirroring TrainingPointFrom's attribution of plan-saving time.
+func ObservationFrom(c plangen.Counters, level opt.Level, fp fingerprint.FP, predicted, actual time.Duration) CompileObservation {
+	tp := TrainingPointFrom(c, actual)
+	return CompileObservation{
+		Counts:      tp.Counts,
+		Level:       level,
+		Fingerprint: fp,
+		Predicted:   predicted,
+		Actual:      actual,
+		GenSeconds:  tp.GenSeconds,
+	}
+}
+
+// TrainingPoint converts the observation to the form Calibrate consumes.
+func (o CompileObservation) TrainingPoint() TrainingPoint {
+	return TrainingPoint{Counts: o.Counts, Actual: o.Actual, GenSeconds: o.GenSeconds}
+}
+
+// CompileObserver receives one record per completed real compilation. The
+// optimizer layers call it synchronously, so implementations must be cheap
+// and goroutine-safe (internal/calib's Calibrator is the canonical one).
+type CompileObserver interface {
+	ObserveCompile(CompileObservation)
+}
+
+// ModelProvider yields the current compilation-time model. It decouples the
+// estimation layers from the versioned model registry (internal/calib):
+// Options.Models and MOP.Models read the provider at run start, so a model
+// swap mid-stream is picked up by the next run without any re-wiring.
+type ModelProvider interface {
+	CurrentModel() *TimeModel
+}

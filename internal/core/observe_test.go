@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"cote/internal/opt"
+)
+
+type obsRecorder struct{ obs []CompileObservation }
+
+func (r *obsRecorder) ObserveCompile(o CompileObservation) { r.obs = append(r.obs, o) }
+
+type staticProvider struct{ m *TimeModel }
+
+func (p staticProvider) CurrentModel() *TimeModel { return p.m }
+
+// MOP must emit one observation per real compilation it runs: the low-level
+// compile (no prediction to score) and the high-level recompile (paired
+// with the estimate that justified it).
+func TestMOPObserverReceivesBothCompiles(t *testing.T) {
+	rec := &obsRecorder{}
+	m := &MOP{Model: mopFastModel(), Observer: rec}
+	_, dec, err := m.Run(starBlock(t, 6, 2, 1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Recompiled {
+		t.Fatalf("fixture did not recompile: %+v", dec)
+	}
+	if len(rec.obs) != 2 {
+		t.Fatalf("%d observations, want 2 (low compile + recompile)", len(rec.obs))
+	}
+	low, high := rec.obs[0], rec.obs[1]
+	if low.Level != opt.LevelLow || low.Predicted != 0 {
+		t.Fatalf("low observation: %+v", low)
+	}
+	if high.Level != opt.LevelHighInner2 {
+		t.Fatalf("high observation at %v", high.Level)
+	}
+	if high.Predicted != dec.HighCompileEstimate {
+		t.Fatalf("high observation predicted %v, decision says %v", high.Predicted, dec.HighCompileEstimate)
+	}
+	if high.Actual <= 0 || high.Counts.Total() <= 0 {
+		t.Fatalf("high observation unmeasured: %+v", high)
+	}
+	if low.Fingerprint != high.Fingerprint || low.Fingerprint == (CompileObservation{}).Fingerprint {
+		t.Fatalf("fingerprints %v vs %v", low.Fingerprint, high.Fingerprint)
+	}
+}
+
+// With no explicit Model, MOP and EstimatePlans must consult the provider —
+// the hook that lets a registry swap models between runs.
+func TestModelProviderFallback(t *testing.T) {
+	model := &TimeModel{Tinst: 1e-9, C: [3]float64{5, 2, 4}, C0: 100}
+	m := &MOP{Models: staticProvider{model}}
+	_, dec, err := m.Run(starBlock(t, 6, 2, 1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.HighCompileEstimate <= 0 {
+		t.Fatalf("provider model unused: %+v", dec)
+	}
+
+	est, err := EstimatePlans(starBlock(t, 6, 2, 1, 0, 1), Options{Level: opt.LevelHighInner2, Models: staticProvider{model}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PredictedTime <= 0 {
+		t.Fatal("EstimatePlans ignored Options.Models")
+	}
+	// An explicit Model wins over the provider.
+	bigger := &TimeModel{Tinst: 2 * model.Tinst, C: model.C, C0: model.C0}
+	est2, err := EstimatePlans(starBlock(t, 6, 2, 1, 0, 1), Options{Level: opt.LevelHighInner2, Model: bigger, Models: staticProvider{model}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.PredictedTime != 2*est.PredictedTime {
+		t.Fatalf("explicit model did not win: %v vs %v", est2.PredictedTime, est.PredictedTime)
+	}
+}

@@ -49,6 +49,64 @@ func (p *PlanCounts) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+type timeModelJSON struct {
+	Tinst float64 `json:"tinst"`
+	MGJN  float64 `json:"c_mgjn"`
+	NLJN  float64 `json:"c_nljn"`
+	HSJN  float64 `json:"c_hsjn"`
+	C0    float64 `json:"c0"`
+}
+
+// MarshalJSON renders the time model with named per-method constants — the
+// wire form of /v1/model and the -model-file registry persistence.
+func (m TimeModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(timeModelJSON{
+		Tinst: m.Tinst,
+		MGJN:  m.C[props.MGJN],
+		NLJN:  m.C[props.NLJN],
+		HSJN:  m.C[props.HSJN],
+		C0:    m.C0,
+	})
+}
+
+// UnmarshalJSON accepts the MarshalJSON form.
+func (m *TimeModel) UnmarshalJSON(data []byte) error {
+	var j timeModelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	m.Tinst = j.Tinst
+	m.C[props.MGJN] = j.MGJN
+	m.C[props.NLJN] = j.NLJN
+	m.C[props.HSJN] = j.HSJN
+	m.C0 = j.C0
+	return nil
+}
+
+type joinCountModelJSON struct {
+	Tinst float64 `json:"tinst"`
+	Cj    float64 `json:"cj"`
+	C0    float64 `json:"c0"`
+}
+
+// MarshalJSON renders the join-count baseline model, so both model kinds
+// round-trip through -model-file and /v1/model the same way.
+func (m JoinCountModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(joinCountModelJSON{Tinst: m.Tinst, Cj: m.Cj, C0: m.C0})
+}
+
+// UnmarshalJSON accepts the MarshalJSON form.
+func (m *JoinCountModel) UnmarshalJSON(data []byte) error {
+	var j joinCountModelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	m.Tinst = j.Tinst
+	m.Cj = j.Cj
+	m.C0 = j.C0
+	return nil
+}
+
 // String renders the estimate on one line: counts, enumerated joins, the
 // estimator's own elapsed time, and — when a model produced them — the
 // compilation-time and memory predictions.

@@ -33,6 +33,54 @@ func TestPlanCountsSerialization(t *testing.T) {
 	}
 }
 
+func TestTimeModelSerialization(t *testing.T) {
+	m := &TimeModel{Tinst: 2e-9, C0: 4200}
+	m.C[props.MGJN] = 5
+	m.C[props.NLJN] = 2
+	m.C[props.HSJN] = 4
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"tinst":2e-9,"c_mgjn":5,"c_nljn":2,"c_hsjn":4,"c0":4200}`; string(data) != want {
+		t.Fatalf("MarshalJSON = %s, want %s", data, want)
+	}
+	var back TimeModel
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *m {
+		t.Fatalf("round trip: %+v != %+v", back, *m)
+	}
+	// The named fields (not array indices) are the wire contract: a
+	// hand-written model must land on the right join methods.
+	var hand TimeModel
+	if err := json.Unmarshal([]byte(`{"tinst":1e-9,"c_nljn":7}`), &hand); err != nil {
+		t.Fatal(err)
+	}
+	if hand.C[props.NLJN] != 7 || hand.C[props.MGJN] != 0 || hand.C[props.HSJN] != 0 {
+		t.Fatalf("named-field decode: %+v", hand)
+	}
+}
+
+func TestJoinCountModelSerialization(t *testing.T) {
+	m := &JoinCountModel{Tinst: 1e-9, Cj: 123.5, C0: 9}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"tinst":1e-9,"cj":123.5,"c0":9}`; string(data) != want {
+		t.Fatalf("MarshalJSON = %s, want %s", data, want)
+	}
+	var back JoinCountModel
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *m {
+		t.Fatalf("round trip: %+v != %+v", back, *m)
+	}
+}
+
 func TestEstimateSerialization(t *testing.T) {
 	e := &Estimate{
 		Joins: 10, Pairs: 6,

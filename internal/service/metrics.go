@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cote/internal/calib"
 	"cote/internal/optctx"
 )
 
@@ -132,6 +133,14 @@ type Metrics struct {
 	// overran the COTE prediction by more than the budget factor.
 	BudgetAborts Counter
 
+	// Observations counts real optimizations fed to the calibration loop;
+	// ModelInstalls counts model versions installed through the API paths
+	// (seed, calibrate, upload, rollback). Automatic recalibrations are
+	// reported from the calibrator itself in the snapshot's calibration
+	// section.
+	Observations  Counter
+	ModelInstalls Counter
+
 	// StageCount / StageTimeUS aggregate the per-stage observability of
 	// every completed compilation: units processed and microseconds spent in
 	// parse, enumerate, generate and prune.
@@ -162,11 +171,12 @@ func (m *Metrics) ObserveStages(oc *optctx.Ctx) {
 	}
 }
 
-// Snapshot renders every metric, plus the live pool and cache gauges, as a
-// JSON-marshalable map.
-func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache) map[string]any {
+// Snapshot renders every metric, plus the live pool, cache and calibration
+// gauges, as a JSON-marshalable map.
+func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache, cal *calib.Calibrator) map[string]any {
 	waiting, running := pool.Depth()
 	_, _, size, capacity := cache.Stats()
+	cs := cal.Stats()
 	return map[string]any{
 		"uptime_seconds": int64(time.Since(m.start).Seconds()),
 		"requests": map[string]int64{
@@ -206,6 +216,18 @@ func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache) map[string]any {
 			"timeouts":       m.Timeouts.Value(),
 			"abandoned_runs": pool.Abandoned(),
 			"budget_aborts":  m.BudgetAborts.Value(),
+		},
+		"calibration": map[string]any{
+			"model_version":   int64(cal.Registry().Version()),
+			"model_installs":  m.ModelInstalls.Value(),
+			"observations":    m.Observations.Value(),
+			"window_len":      int64(cs.WindowLen),
+			"window_cap":      int64(cs.WindowCap),
+			"drift":           cs.Drift,
+			"degraded":        cs.Degraded,
+			"recalibrations":  cs.Recalibrations,
+			"refits_rejected": cs.Rejected,
+			"refits_failed":   cs.Failures,
 		},
 		"stages": m.stagesSnapshot(),
 	}

@@ -7,12 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
-	"sync"
 	"time"
 
+	"cote/internal/calib"
 	"cote/internal/core"
 	"cote/internal/cost"
 	"cote/internal/fingerprint"
+	"cote/internal/modelio"
 	"cote/internal/opt"
 	"cote/internal/optctx"
 	"cote/internal/query"
@@ -42,9 +43,19 @@ type Config struct {
 	// Downgrade makes the admission controller retry cheaper levels
 	// instead of rejecting over-budget requests.
 	Downgrade bool
-	// Model seeds the compilation-time model; POST /v1/calibrate replaces
-	// it at runtime.
+	// Model seeds the compilation-time model (installed as the registry's
+	// first version); POST /v1/calibrate and the online recalibrator
+	// replace it at runtime.
 	Model *core.TimeModel
+	// Models, when non-nil, is a pre-loaded model registry (cmd/coted
+	// restores one from -model-file); otherwise the server creates an
+	// empty one. Config.Model, when also set, is installed on top.
+	Models *calib.Registry
+	// Calib parameterizes the online calibration loop: the observation
+	// window, the drift detector, and the recalibration gates. The zero
+	// value enables automatic recalibration with the calib defaults; set
+	// Calib.DriftThreshold negative to track drift without auto-refitting.
+	Calib calib.Config
 	// MaxParallelism caps the per-request intra-query parallelism of
 	// POST /v1/optimize (the DP round's worker fan-out). Zero or one keeps
 	// every compile serial. When above one and Workers is left zero, the
@@ -75,8 +86,10 @@ type Server struct {
 	metrics  *Metrics
 	progress *progressTable
 
-	mu    sync.RWMutex
-	model *core.TimeModel
+	// models is the versioned compilation-time model registry; calib is
+	// the online loop feeding it from real optimizations.
+	models *calib.Registry
+	calib  *calib.Calibrator
 }
 
 // New returns a server with the config's defaults filled in.
@@ -99,15 +112,24 @@ func New(cfg Config) *Server {
 	if cfg.CacheCapacity <= 0 {
 		cfg.CacheCapacity = 1024
 	}
-	return &Server{
+	models := cfg.Models
+	if models == nil {
+		models = calib.NewRegistry(0)
+	}
+	s := &Server{
 		cfg:      cfg,
 		registry: NewRegistry(),
 		pool:     NewPool(cfg.Workers, cfg.Queue),
 		cache:    NewEstimateCache(cfg.CacheCapacity),
 		metrics:  NewMetrics(),
 		progress: newProgressTable(),
-		model:    cfg.Model,
+		models:   models,
+		calib:    calib.NewCalibrator(models, cfg.Calib),
 	}
+	if cfg.Model != nil {
+		s.installModel(cfg.Model, "seed", 0, 0)
+	}
+	return s
 }
 
 // Registry exposes the catalog registry (cmd/coted preloads schemas).
@@ -118,18 +140,33 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Model returns the current compilation-time model (nil before
 // calibration).
-func (s *Server) Model() *core.TimeModel {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.model
+func (s *Server) Model() *core.TimeModel { return s.models.CurrentModel() }
+
+// SetModel installs m as a new model version (source "api").
+func (s *Server) SetModel(m *core.TimeModel) {
+	s.installModel(m, "api", 0, 0)
 }
 
-// SetModel replaces the compilation-time model.
-func (s *Server) SetModel(m *core.TimeModel) {
-	s.mu.Lock()
-	s.model = m
-	s.mu.Unlock()
+// installModel installs a model version and mirrors it into the metrics
+// and the configured swap hook.
+func (s *Server) installModel(m *core.TimeModel, source string, samples int, fitErr float64) *calib.ModelVersion {
+	v := s.models.Install(m, source, samples, fitErr)
+	s.metrics.ModelInstalls.Add()
+	if s.cfg.Calib.OnSwap != nil {
+		// Recalibrations run OnSwap through the calibrator; every other
+		// install path mirrors the behaviour here so -model-file
+		// persistence sees them all.
+		s.cfg.Calib.OnSwap(v)
+	}
+	return v
 }
+
+// Calibrator exposes the online calibration loop (cmd/coted wires its
+// persistence hook; tests assert on its stats).
+func (s *Server) Calibrator() *calib.Calibrator { return s.calib }
+
+// Models exposes the versioned model registry.
+func (s *Server) Models() *calib.Registry { return s.models }
 
 // ParseLevel maps the wire names to optimization levels; the empty string
 // selects inner2, the level the paper's experiments run at.
@@ -273,12 +310,15 @@ type EstimateRequest struct {
 
 // EstimateResponse is the reply: the estimate plus cache provenance. The
 // predicted fields inside the estimate are filled from the server's
-// current model.
+// current model; ModelVersion names the registry version that priced them
+// (zero when no model is installed), so clients can tell which model a
+// cached estimate was re-priced with.
 type EstimateResponse struct {
-	Catalog  string         `json:"catalog"`
-	Level    string         `json:"level"`
-	Cached   bool           `json:"cached"`
-	Estimate *core.Estimate `json:"estimate"`
+	Catalog      string         `json:"catalog"`
+	Level        string         `json:"level"`
+	Cached       bool           `json:"cached"`
+	ModelVersion int            `json:"model_version,omitempty"`
+	Estimate     *core.Estimate `json:"estimate"`
 }
 
 // Estimate runs the paper's plan-estimate mode for one request.
@@ -297,19 +337,22 @@ func (s *Server) Estimate(ctx context.Context, req EstimateRequest) (*EstimateRe
 	if err != nil {
 		return nil, err
 	}
-	// Price a copy with the current model, leaving the cached entry
-	// prediction-free.
+	// Price a copy with the current model version, leaving the cached entry
+	// prediction-free: a model swap can never serve a stale PredictedTime
+	// because the prediction is never stored, only the counts.
 	out := *est
 	out.PredictedTime = 0
-	if m := s.Model(); m != nil {
-		out.PredictedTime = m.Predict(out.Counts)
-	}
-	return &EstimateResponse{
+	resp := &EstimateResponse{
 		Catalog:  entry.Name,
 		Level:    LevelName(level),
 		Cached:   cached,
 		Estimate: &out,
-	}, nil
+	}
+	if v := s.models.Current(); v != nil {
+		out.PredictedTime = v.Model.Predict(out.Counts)
+		resp.ModelVersion = v.Version
+	}
+	return resp, nil
 }
 
 // EstimateBatchRequest is the body of POST /v1/estimate/batch: many
@@ -339,11 +382,12 @@ type BatchItem struct {
 // dedup accounting (Distinct groups estimated, Deduped statements that rode
 // along).
 type EstimateBatchResponse struct {
-	Catalog  string      `json:"catalog"`
-	Level    string      `json:"level"`
-	Distinct int         `json:"distinct"`
-	Deduped  int         `json:"deduped"`
-	Items    []BatchItem `json:"items"`
+	Catalog      string      `json:"catalog"`
+	Level        string      `json:"level"`
+	Distinct     int         `json:"distinct"`
+	Deduped      int         `json:"deduped"`
+	ModelVersion int         `json:"model_version,omitempty"`
+	Items        []BatchItem `json:"items"`
 }
 
 // maxBatchStatements bounds one batch request; parameterized workloads
@@ -421,7 +465,11 @@ func (s *Server) EstimateBatch(ctx context.Context, req EstimateBatchRequest) (*
 	resp.Distinct = len(order)
 	s.metrics.BatchDeduped.AddN(int64(resp.Deduped))
 
-	m := s.Model()
+	var m *core.TimeModel
+	if v := s.models.Current(); v != nil {
+		m = v.Model
+		resp.ModelVersion = v.Version
+	}
 	for _, fp := range order {
 		g := groups[fp]
 		est, cached, err := s.estimateFor(ctx, entry, g.blk, level, !req.NoCache)
@@ -554,11 +602,13 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 	// overrun aborts it and drops a level, re-entering this loop.
 	for {
 		oc := optctx.New(ctx)
+		var predictedTime time.Duration
 		if admitted != opt.LevelLow {
-			if predicted, ok := s.predictPlans(ctx, entry, blk, admitted); ok {
-				oc.SetPredictedPlans(predicted)
+			if plans, t, ok := s.predictLevel(ctx, entry, blk, admitted); ok {
+				predictedTime = t
+				oc.SetPredictedPlans(plans)
 				if s.cfg.BudgetFactor > 0 {
-					oc.SetPlanBudget(int64(s.cfg.BudgetFactor * float64(predicted)))
+					oc.SetPlanBudget(int64(s.cfg.BudgetFactor * float64(plans)))
 				}
 			}
 		}
@@ -575,6 +625,11 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 			resp.Rows = res.Plan.Card
 			resp.ElapsedNS = res.Elapsed.Nanoseconds()
 			resp.Counts = core.CountsFrom(res.TotalCounters())
+			// Feed the calibration loop: every real optimization is a
+			// training sample, and the priced ones score the model's drift.
+			s.metrics.Observations.Add()
+			s.calib.ObserveCompile(core.ObservationFrom(
+				res.TotalCounters(), admitted, fingerprint.Of(blk), predictedTime, res.Elapsed))
 			return resp, nil
 		}
 		if !errors.Is(err, optctx.ErrBudgetExceeded) {
@@ -589,19 +644,21 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 	}
 }
 
-// predictPlans returns the COTE-predicted generated-plan total for one
-// level — the progress denominator and budget baseline. It reports false
-// when no model is calibrated (no basis for bounding) or the estimate
-// itself fails (the compile must still run).
-func (s *Server) predictPlans(ctx context.Context, entry *RegistryEntry, blk *query.Block, level opt.Level) (int64, bool) {
-	if s.Model() == nil {
-		return 0, false
+// predictLevel returns the COTE-predicted generated-plan total and
+// compilation time for one level — the progress denominator, the budget
+// baseline, and the prediction the calibration loop scores against the
+// measured time. It reports false when no model is calibrated (no basis
+// for bounding) or the estimate itself fails (the compile must still run).
+func (s *Server) predictLevel(ctx context.Context, entry *RegistryEntry, blk *query.Block, level opt.Level) (int64, time.Duration, bool) {
+	m := s.Model()
+	if m == nil {
+		return 0, 0, false
 	}
 	est, _, err := s.estimateFor(ctx, entry, blk, level, true)
 	if err != nil {
-		return 0, false
+		return 0, 0, false
 	}
-	return int64(est.Counts.Total()), true
+	return int64(est.Counts.Total()), m.Predict(est.Counts), true
 }
 
 // CalibrateRequest is the body of POST /v1/calibrate: fit the time model
@@ -620,24 +677,14 @@ type CalibrateResponse struct {
 	Model    string `json:"model"`
 }
 
-// namedWorkload builds a calibration workload by name. Each call builds
-// fresh query blocks, so concurrent calibrations do not share state.
+// namedWorkload builds a calibration workload by name (the shared modelio
+// table), turning an unknown name into a 400.
 func namedWorkload(name string, nodes int) (*workload.Workload, error) {
-	switch name {
-	case "linear":
-		return workload.Linear(nodes), nil
-	case "star":
-		return workload.Star(nodes), nil
-	case "random":
-		return workload.Random(42, 12, 10, nodes), nil
-	case "real1":
-		return workload.Real1(nodes), nil
-	case "real2":
-		return workload.Real2(nodes), nil
-	case "tpch":
-		return workload.TPCH(nodes), nil
+	w, err := modelio.NamedWorkload(name, nodes)
+	if err != nil {
+		return nil, badRequest("%v", err)
 	}
-	return nil, badRequest("unknown workload %q (want linear, star, random, real1, real2 or tpch)", name)
+	return w, nil
 }
 
 // Calibrate compiles a named workload for real at two levels, fits the
@@ -680,7 +727,7 @@ func (s *Server) Calibrate(ctx context.Context, req CalibrateRequest) (*Calibrat
 	if err != nil {
 		return nil, badRequest("calibration failed: %v", err)
 	}
-	s.SetModel(model)
+	s.installModel(model, "calibrate", len(training), 0)
 	return &CalibrateResponse{Workload: w.Name, Points: len(training), Model: model.String()}, nil
 }
 
@@ -688,20 +735,26 @@ func (s *Server) Calibrate(ctx context.Context, req CalibrateRequest) (*Calibrat
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/estimate   estimate a query's compilation
-//	POST /v1/optimize   optimize behind admission control
-//	POST /v1/calibrate  fit the time model on a named workload
-//	GET  /v1/catalogs   list registered catalogs
-//	POST /v1/catalogs   upload a JSON catalog
-//	GET  /v1/progress   live progress of in-flight optimizations
-//	GET  /metrics       JSON metrics snapshot
-//	GET  /healthz       liveness probe
+//	POST /v1/estimate       estimate a query's compilation
+//	POST /v1/optimize       optimize behind admission control
+//	POST /v1/calibrate      fit the time model on a named workload
+//	GET  /v1/model          current model version + drift
+//	POST /v1/model          install a model or roll back to a version
+//	GET  /v1/model/history  retained model versions
+//	GET  /v1/catalogs       list registered catalogs
+//	POST /v1/catalogs       upload a JSON catalog
+//	GET  /v1/progress       live progress of in-flight optimizations
+//	GET  /metrics           JSON metrics snapshot
+//	GET  /healthz           liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /v1/estimate/batch", s.handleEstimateBatch)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("POST /v1/calibrate", s.handleCalibrate)
+	mux.HandleFunc("GET /v1/model", s.handleModelGet)
+	mux.HandleFunc("POST /v1/model", s.handleModelPost)
+	mux.HandleFunc("GET /v1/model/history", s.handleModelHistory)
 	mux.HandleFunc("GET /v1/catalogs", s.handleCatalogList)
 	mux.HandleFunc("POST /v1/catalogs", s.handleCatalogUpload)
 	mux.HandleFunc("GET /v1/progress", s.handleProgress)
@@ -840,7 +893,7 @@ func (s *Server) handleCatalogUpload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.cache))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.cache, s.calib))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

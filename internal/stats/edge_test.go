@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// A window of identical observations is rank-deficient: XᵀX has rank 1.
+// The ridge fallback must still return a finite fit that reproduces the
+// (single) observed point instead of erroring or emitting NaN.
+func TestOLSAllIdenticalObservations(t *testing.T) {
+	x := make([][]float64, 6)
+	y := make([]float64, 6)
+	for i := range x {
+		x[i] = []float64{100, 200, 300}
+		y[i] = 5000
+	}
+	beta, err := OLS(x, y)
+	if err != nil {
+		t.Fatalf("OLS on identical rows: %v", err)
+	}
+	var pred float64
+	for i, b := range beta {
+		if !isFinite(b) {
+			t.Fatalf("beta[%d] = %v, want finite", i, b)
+		}
+		pred += b * x[0][i]
+	}
+	if math.Abs(pred-y[0]) > 1e-3*y[0] {
+		t.Fatalf("fit does not reproduce the repeated observation: predicted %v, want %v", pred, y[0])
+	}
+}
+
+// One observation cannot determine multiple regressors; OLS must reject the
+// window rather than fabricate coefficients.
+func TestOLSSingleSampleWindow(t *testing.T) {
+	if _, err := OLS([][]float64{{1, 2, 3}}, []float64{10}); err == nil {
+		t.Fatal("OLS accepted 1 observation for 3 regressors")
+	}
+	// A single observation of a single regressor is determined and must fit.
+	beta, err := OLS([][]float64{{4}}, []float64{20})
+	if err != nil {
+		t.Fatalf("OLS on a determined 1x1 system: %v", err)
+	}
+	if math.Abs(beta[0]-5) > 1e-9 {
+		t.Fatalf("beta = %v, want 5", beta[0])
+	}
+}
+
+// Non-finite inputs must be rejected up front: without the guard they
+// propagate through the normal equations and come back as silent NaN
+// coefficients.
+func TestOLSRejectsNonFinite(t *testing.T) {
+	good := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	cases := []struct {
+		name string
+		x    [][]float64
+		y    []float64
+	}{
+		{"nan regressor", [][]float64{{1, 0}, {0, math.NaN()}, {1, 1}}, []float64{1, 2, 3}},
+		{"inf regressor", [][]float64{{1, 0}, {math.Inf(1), 1}, {1, 1}}, []float64{1, 2, 3}},
+		{"nan target", good, []float64{1, math.NaN(), 3}},
+		{"-inf target", good, []float64{1, 2, math.Inf(-1)}},
+	}
+	for _, tc := range cases {
+		if _, err := OLS(tc.x, tc.y); err == nil {
+			t.Errorf("%s: OLS accepted non-finite input", tc.name)
+		}
+		if _, err := NonNegativeOLS(tc.x, tc.y); err == nil {
+			t.Errorf("%s: NonNegativeOLS accepted non-finite input", tc.name)
+		}
+	}
+	if beta, err := OLS(good, []float64{1, 2, 3}); err != nil || len(beta) != 2 {
+		t.Fatalf("control fit failed: %v %v", beta, err)
+	}
+}
+
+// NonNegativeOLS inherits the edge-case behavior: identical observations
+// still fit (via the ridge fallback) and stay nonnegative.
+func TestNNLSAllIdenticalObservations(t *testing.T) {
+	x := make([][]float64, 5)
+	y := make([]float64, 5)
+	for i := range x {
+		x[i] = []float64{10, 20}
+		y[i] = 100
+	}
+	beta, err := NonNegativeOLS(x, y)
+	if err != nil {
+		t.Fatalf("NonNegativeOLS on identical rows: %v", err)
+	}
+	for i, b := range beta {
+		if b < 0 || !isFinite(b) {
+			t.Fatalf("beta[%d] = %v, want finite nonnegative", i, b)
+		}
+	}
+}

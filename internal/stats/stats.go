@@ -35,6 +35,14 @@ func OLS(x [][]float64, y []float64) ([]float64, error) {
 		if len(row) != k {
 			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(row), k)
 		}
+		for _, v := range row {
+			if !isFinite(v) {
+				return nil, fmt.Errorf("stats: non-finite regressor in row %d", i)
+			}
+		}
+		if !isFinite(y[i]) {
+			return nil, fmt.Errorf("stats: non-finite target in row %d", i)
+		}
 	}
 
 	// Normal equations: (XᵀX) beta = Xᵀy.
@@ -126,6 +134,8 @@ func NonNegativeOLS(x [][]float64, y []float64) ([]float64, error) {
 	}
 	return nil, errors.New("stats: non-negative refit did not converge")
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // solve performs Gaussian elimination with partial pivoting on a (k x k)
 // system. The singularity threshold is relative to the matrix scale so that

@@ -13,6 +13,8 @@
 #   COUNT      runs per benchmark, median kept   (default 5; smoke: 1)
 #   BENCH      -bench regex                      (default .)
 #   TOLERANCE  allowed fractional regression     (default 0.25)
+#   BENCH_OUT  also write the parsed benchjson output to this file
+#              (smoke/compare modes; CI uploads it as an artifact)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,15 +49,26 @@ trap 'rm -f "$out"' EXIT
 echo "== go test -run NONE -bench $BENCH -benchmem -count $COUNT ${extra[*]:-} ." >&2
 go test -run NONE -bench "$BENCH" -benchmem -count "$COUNT" "${extra[@]}" . | tee "$out" >&2
 
+emit() {
+  # Keep a machine-readable copy of this run next to the pass/fail gate so
+  # CI can archive it (and a human can diff two runs) without re-running.
+  if [ -n "${BENCH_OUT:-}" ]; then
+    go run ./cmd/benchjson < "$out" > "$BENCH_OUT"
+    echo "wrote $BENCH_OUT" >&2
+  fi
+}
+
 case "$mode" in
   update)
     go run ./cmd/benchjson < "$out" > "$BASELINE"
     echo "wrote $BASELINE"
     ;;
   compare)
+    emit
     go run ./cmd/benchjson -compare "$BASELINE" -tolerance "$TOLERANCE" < "$out"
     ;;
   smoke)
+    emit
     go run ./cmd/benchjson -compare "$BASELINE" -structural < "$out"
     ;;
 esac
