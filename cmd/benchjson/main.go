@@ -21,6 +21,11 @@
 // disappeared. -structural skips the numeric check — benchmarks must merely
 // all still exist and produce parseable output, the cheap smoke mode CI runs
 // on every push (CI machines are too noisy for wall-clock gates).
+//
+// Delta mode renders a benchstat-style per-benchmark change table against a
+// baseline, purely informational (always exit 0 on valid input):
+//
+//	go test -run NONE -bench . -benchmem . | benchjson -delta BENCH_cote.json
 package main
 
 import (
@@ -56,12 +61,22 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON to compare stdin against (default: emit JSON)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression of ns/op and allocs/op")
 	structural := flag.Bool("structural", false, "compare mode: only require every baseline benchmark to still exist")
+	delta := flag.String("delta", "", "baseline JSON to print an informational change table against (never fails)")
 	flag.Parse()
 
 	doc, err := parseInput(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(2)
+	}
+	if *delta != "" {
+		base, err := readDoc(*delta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(2)
+		}
+		printDelta(os.Stdout, base, doc, *delta)
+		return
 	}
 	if *compare == "" {
 		enc := json.NewEncoder(os.Stdout)
@@ -245,6 +260,51 @@ func compareDocs(base, cur *Doc, tolerance float64, structural bool) []string {
 		}
 	}
 	return failures
+}
+
+// printDelta renders the benchstat-style informational table: one row per
+// benchmark present in either document, with the ns/op and allocs/op change
+// as signed percentages. New and vanished benchmarks are called out instead
+// of silently dropped. Single-shot CI runs are noisy, so the table is for
+// eyeballs and artifact diffs, never a gate.
+func printDelta(w io.Writer, base, cur *Doc, basePath string) {
+	names := map[string]bool{}
+	for name := range base.Benchmarks {
+		names[name] = true
+	}
+	for name := range cur.Benchmarks {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "benchmark deltas vs %s (informational; single-run medians, expect noise)\n", basePath)
+	fmt.Fprintf(w, "%-44s %14s %14s %9s %11s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	for _, name := range sorted {
+		b, inBase := base.Benchmarks[name]
+		c, inCur := cur.Benchmarks[name]
+		switch {
+		case !inCur:
+			fmt.Fprintf(w, "%-44s %14.0f %14s %9s %11s\n", name, b.NsPerOp, "-", "gone", "")
+		case !inBase:
+			fmt.Fprintf(w, "%-44s %14s %14.0f %9s %11s\n", name, "-", c.NsPerOp, "new", "")
+		default:
+			fmt.Fprintf(w, "%-44s %14.0f %14.0f %s %11s\n",
+				name, b.NsPerOp, c.NsPerOp, deltaPct(b.NsPerOp, c.NsPerOp), deltaPct(b.AllocsPerOp, c.AllocsPerOp))
+		}
+	}
+}
+
+// deltaPct formats a signed relative change, or "~" when either side is
+// unmeasured.
+func deltaPct(base, cur float64) string {
+	if base <= 0 || cur <= 0 {
+		return fmt.Sprintf("%9s", "~")
+	}
+	return fmt.Sprintf("%+8.1f%%", 100*(cur/base-1))
 }
 
 // worse reports whether cur regressed past the tolerance relative to base.

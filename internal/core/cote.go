@@ -32,6 +32,10 @@ type Options struct {
 	PropagateEveryJoin bool
 	// CartesianPolicy overrides the Cartesian handling (default card-one).
 	CartesianPolicy enum.CartesianPolicy
+	// NaiveScan forces the full size-class cross-product scan instead of the
+	// connectivity-indexed candidate scan. Diagnostics and differential
+	// comparison only — the admitted join set is identical either way.
+	NaiveScan bool
 	// Model converts plan counts to a time prediction when non-nil.
 	Model *TimeModel
 	// Models supplies the current model from a registry when Model is nil
@@ -72,6 +76,10 @@ type Estimate struct {
 	// Joins and Pairs total the enumerated ordered joins and unordered
 	// join pairs (the Ono-Lohman metric).
 	Joins, Pairs int
+	// CandidatesVisited and CandidatesSkipped total the size-class partner
+	// slots the enumerator examined vs proved irrelevant up front via the
+	// connectivity index (visited + skipped = the naive scan's work).
+	CandidatesVisited, CandidatesSkipped int
 	// Elapsed is the wall time the estimation itself took — the overhead
 	// the paper bounds below 3% of real compilation (Figure 4).
 	Elapsed time.Duration
@@ -107,6 +115,8 @@ func EstimatePlans(blk *query.Block, opts Options) (*Estimate, error) {
 		est.Counts.Add(be.Counts)
 		est.Joins += be.EnumStats.Joins
 		est.Pairs += be.EnumStats.Pairs
+		est.CandidatesVisited += be.EnumStats.CandidatesVisited
+		est.CandidatesSkipped += be.EnumStats.CandidatesSkipped
 		est.PredictedMemoryBytes += memoryLowerBound(be)
 		// Export the block's output cardinality (simple mode) to the
 		// derived refs in later blocks, as the real optimizer does with its
@@ -166,6 +176,7 @@ func estimateBlock(blk *query.Block, cfg *cost.Config, opts Options) (*BlockEsti
 
 	eopts := opts.level().EnumOptions()
 	eopts.Cartesian = opts.CartesianPolicy
+	eopts.NaiveScan = opts.NaiveScan
 	eopts.Exec = opts.Exec
 	st, err := enum.New(blk, mem, card, eopts).Run(cnt.hooks())
 	if err != nil {

@@ -123,7 +123,8 @@ func levelAdmits(l opt.Level, outer, inner *memo.Entry) bool {
 // one — each scaled by the candidate execution partitions in parallel mode
 // (the separate-list multiplication of Section 3.4).
 func (c *counter) countOnly(outer, inner, result *memo.Entry) {
-	outerCols, innerCols := c.sc.JoinColsBetween(outer.Tables, inner.Tables)
+	c.ocBuf, c.icBuf = c.sc.AppendJoinColsBetween(outer.Tables, inner.Tables, c.ocBuf[:0], c.icBuf[:0])
+	outerCols, innerCols := c.ocBuf, c.icBuf
 	candParts := c.candidateParts(outer, inner, result, outerCols, innerCols)
 	c.countWithCols(outer, inner, result, outerCols, innerCols, candParts)
 }

@@ -105,6 +105,16 @@ type counter struct {
 	joins int
 	// vecs holds compound property vectors per entry (CompoundLists only).
 	vecs map[bitset.Set][]propVec
+
+	// Scratch for the per-join hot path. accumulate_plans runs once per
+	// enumerated join — the paper's Table 3 inner loop — so everything it
+	// needs transiently is buffered on the counter and reused join over
+	// join, mirroring the real generator's allocation-lean idioms.
+	ocBuf, icBuf []query.ColID
+	jcBuf        []query.ColID
+	outsBuf      []props.Order
+	emitted      props.OrderList
+	plistBuf     props.PartitionList
 }
 
 func newCounter(blk *query.Block, sc *props.Scope, nodes int, policy props.GenerationPolicy, mode ListMode, everyJoin bool) *counter {
@@ -181,7 +191,8 @@ func (c *counter) initialize(e *memo.Entry) {
 // value already in the list — and accumulates a separate plan count per
 // join method according to the method's propagation class.
 func (c *counter) accumulatePlans(outer, inner, result *memo.Entry) {
-	outerCols, innerCols := c.sc.JoinColsBetween(outer.Tables, inner.Tables)
+	c.ocBuf, c.icBuf = c.sc.AppendJoinColsBetween(outer.Tables, inner.Tables, c.ocBuf[:0], c.icBuf[:0])
+	outerCols, innerCols := c.ocBuf, c.icBuf
 	candParts := c.candidateParts(outer, inner, result, outerCols, innerCols)
 
 	// --- property propagation (first-join-only unless ablated) ---
@@ -190,18 +201,22 @@ func (c *counter) accumulatePlans(outer, inner, result *memo.Entry) {
 		// Orders propagate from both inputs' lists (Table 3: lists ∪ listl)
 		// — restricted to outer-enabled inputs, since orders travel on the
 		// outer of a nested-loops join (DB2 item 3) — plus the
-		// merge-candidate orders MGJN partially propagates.
-		outs, _ := plangen.MergeCandidates(outerCols, innerCols)
-		candidates := append([]props.Order(nil), outer.Orders.Orders()...)
-		if inner.OuterEligible {
-			candidates = append(candidates, inner.Orders.Orders()...)
-		}
-		candidates = append(candidates, outs...)
-		for _, o := range candidates {
-			if c.sc.OrderUseful(o, result.Tables, result.Equiv) {
-				result.Orders.Add(o, result.Equiv)
+		// merge-candidate orders MGJN partially propagates. The merge
+		// candidates are interned because Add stores them in the entry's
+		// list, which outlives the scratch buffers.
+		outs := c.mergeOutsInterned(outerCols)
+		addUseful := func(orders []props.Order) {
+			for _, o := range orders {
+				if c.sc.OrderUseful(o, result.Tables, result.Equiv) {
+					result.Orders.Add(o, result.Equiv)
+				}
 			}
 		}
+		addUseful(outer.Orders.Orders())
+		if inner.OuterEligible {
+			addUseful(inner.Orders.Orders())
+		}
+		addUseful(outs)
 		for _, pp := range candParts {
 			if !pp.Empty() {
 				result.Parts.Add(pp, result.Equiv)
@@ -219,11 +234,47 @@ func (c *counter) accumulatePlans(outer, inner, result *memo.Entry) {
 	c.countWithCols(outer, inner, result, outerCols, innerCols, candParts)
 }
 
+// mergeOutsInterned builds the outer-side merge-candidate orders (the outs
+// of plangen.MergeCandidates; estimation never needs the inner side) through
+// the block's interner, so storing them in an entry's property list shares
+// one instance per distinct column sequence. The slice itself is counter
+// scratch, valid until the next mergeOuts call.
+func (c *counter) mergeOutsInterned(outerCols []query.ColID) []props.Order {
+	in := c.sc.Intern()
+	outs := c.outsBuf[:0]
+	for _, col := range outerCols {
+		outs = append(outs, in.Order1(col))
+	}
+	if len(outerCols) > 1 {
+		outs = append(outs, in.Order(outerCols))
+	}
+	c.outsBuf = outs
+	return outs
+}
+
+// mergeOutsScratch is mergeOutsInterned without the interner: the orders
+// alias outerCols and the counter's buffers, valid for comparisons within
+// one call and never to be stored in an entry's lists. mergeOrderCount only
+// counts and compares, so it takes this allocation- and lock-free path on
+// every enumerated join.
+func (c *counter) mergeOutsScratch(outerCols []query.ColID) []props.Order {
+	outs := c.outsBuf[:0]
+	for i := range outerCols {
+		outs = append(outs, props.Order{Cols: outerCols[i : i+1]})
+	}
+	if len(outerCols) > 1 {
+		outs = append(outs, props.Order{Cols: outerCols})
+	}
+	c.outsBuf = outs
+	return outs
+}
+
 // mergeOrderCount returns |listp ∪ listc|: the deduplicated merge-candidate
 // orders plus the coverage list of outer orders strictly subsuming one.
 func (c *counter) mergeOrderCount(outer, result *memo.Entry, outerCols, innerCols []query.ColID) int {
-	outs, _ := plangen.MergeCandidates(outerCols, innerCols)
-	var emitted props.OrderList
+	outs := c.mergeOutsScratch(outerCols)
+	emitted := &c.emitted
+	emitted.Reset()
 	n := 0
 	for _, o := range outs {
 		if emitted.Add(o, result.Equiv) {
@@ -258,8 +309,10 @@ func (c *counter) candidateParts(outer, inner, result *memo.Entry, outerCols, in
 	if !c.parallel {
 		return serialParts
 	}
-	joinCols := append(append([]query.ColID(nil), outerCols...), innerCols...)
-	var list props.PartitionList
+	joinCols := append(append(c.jcBuf[:0], outerCols...), innerCols...)
+	c.jcBuf = joinCols
+	list := &c.plistBuf
+	list.Reset()
 	for _, e := range []*memo.Entry{outer, inner} {
 		for _, p := range e.Parts.Partitions() {
 			if p.CoversJoinCols(joinCols, result.Equiv) {
@@ -269,7 +322,9 @@ func (c *counter) candidateParts(outer, inner, result *memo.Entry, outerCols, in
 	}
 	if list.Len() == 0 {
 		if len(outerCols) > 0 {
-			return []props.Partition{props.PartitionOn(c.nodes, outerCols...)}
+			// Interned: the repartition may be stored in the result's
+			// interesting lists, which outlive the scratch outerCols.
+			return []props.Partition{c.sc.Intern().Partition(c.nodes, outerCols)}
 		}
 		return []props.Partition{{}}
 	}

@@ -128,6 +128,8 @@ type estimateJSON struct {
 	Joins                int        `json:"joins"`
 	Pairs                int        `json:"pairs"`
 	Blocks               int        `json:"blocks"`
+	CandidatesVisited    int        `json:"candidates_visited"`
+	CandidatesSkipped    int        `json:"candidates_skipped"`
 	ElapsedNS            int64      `json:"elapsed_ns"`
 	PredictedTimeNS      int64      `json:"predicted_time_ns,omitempty"`
 	PredictedMemoryBytes int64      `json:"predicted_memory_bytes"`
@@ -141,6 +143,8 @@ func (e *Estimate) MarshalJSON() ([]byte, error) {
 		Joins:                e.Joins,
 		Pairs:                e.Pairs,
 		Blocks:               len(e.Blocks),
+		CandidatesVisited:    e.CandidatesVisited,
+		CandidatesSkipped:    e.CandidatesSkipped,
 		ElapsedNS:            e.Elapsed.Nanoseconds(),
 		PredictedTimeNS:      e.PredictedTime.Nanoseconds(),
 		PredictedMemoryBytes: e.PredictedMemoryBytes,

@@ -1,0 +1,267 @@
+package enum
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cote/internal/bitset"
+	"cote/internal/catalog"
+	"cote/internal/cost"
+	"cote/internal/memo"
+	"cote/internal/query"
+)
+
+// The differential suite is the oracle for the connectivity-indexed scan:
+// for random query graphs across every knob combination, the indexed scan
+// and the naive DPsize cross-product scan (Options.NaiveScan) must produce
+// identical stats and an identical emission sequence, join for join.
+
+// emission is one emitted ordered join, identified by table sets (entry
+// pointers differ across runs).
+type emission struct {
+	outer, inner, result bitset.Set
+}
+
+// diffGraph describes one generated query graph.
+type diffGraph struct {
+	name  string
+	n     int
+	edges [][2]int
+	// outerJoins lists (nullProducing, predReq-table) pairs.
+	outerJoins [][2]int
+	// selective lists tables that get a highly selective filter, driving
+	// their cardinality under the CartesianCardOne threshold.
+	selective []int
+}
+
+// genGraph builds a random graph of the given family. All families start
+// connected (chain/star/cycle/clique), then pick up random extra edges,
+// outer joins, and selective filters from rng.
+func genGraph(family string, n int, rng *rand.Rand) diffGraph {
+	g := diffGraph{name: fmt.Sprintf("%s%d", family, n), n: n}
+	switch family {
+	case "chain":
+		for i := 0; i+1 < n; i++ {
+			g.edges = append(g.edges, [2]int{i, i + 1})
+		}
+	case "star":
+		for i := 1; i < n; i++ {
+			g.edges = append(g.edges, [2]int{0, i})
+		}
+	case "cycle":
+		for i := 0; i+1 < n; i++ {
+			g.edges = append(g.edges, [2]int{i, i + 1})
+		}
+		if n > 2 {
+			g.edges = append(g.edges, [2]int{n - 1, 0})
+		}
+	case "clique":
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.edges = append(g.edges, [2]int{i, j})
+			}
+		}
+	case "sparse":
+		// A random spanning tree plus a few extra edges — the shape real
+		// snowflake workloads take.
+		for i := 1; i < n; i++ {
+			g.edges = append(g.edges, [2]int{rng.Intn(i), i})
+		}
+	}
+	if family != "clique" {
+		for e := 0; e < n/3; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.edges = append(g.edges, [2]int{min(a, b), max(a, b)})
+			}
+		}
+	}
+	// Random outer joins: a table becomes null-producing with its first
+	// graph neighbor as the preserving requirement.
+	for t := 1; t < n; t++ {
+		if rng.Intn(4) != 0 {
+			continue
+		}
+		for _, e := range g.edges {
+			if e[0] == t {
+				g.outerJoins = append(g.outerJoins, [2]int{t, e[1]})
+				break
+			}
+			if e[1] == t {
+				g.outerJoins = append(g.outerJoins, [2]int{t, e[0]})
+				break
+			}
+		}
+		if len(g.outerJoins) >= 2 {
+			break // the valid-set rules compose; two suffice per graph
+		}
+	}
+	for t := 0; t < n; t++ {
+		if rng.Intn(3) == 0 {
+			g.selective = append(g.selective, t)
+		}
+	}
+	return g
+}
+
+// buildDiffBlock materializes the graph as a query block. Every table gets
+// one join column per peer so arbitrary edge sets are expressible.
+func buildDiffBlock(tb testing.TB, g diffGraph) *query.Block {
+	tb.Helper()
+	cb := catalog.NewBuilder(g.name)
+	for i := 0; i < g.n; i++ {
+		t := cb.Table(tname(i), 1000*float64(i+1))
+		for j := 0; j < g.n; j++ {
+			t.Column(colname(j), 50)
+		}
+	}
+	cat := cb.Build()
+	qb := query.NewBuilder(g.name, cat)
+	for i := 0; i < g.n; i++ {
+		qb.AddTable(tname(i), "")
+	}
+	// Deduplicate edges: repeated predicates between a pair are legal but
+	// make the graph multigraph-shaped for no extra coverage.
+	seen := map[[2]int]bool{}
+	for _, e := range g.edges {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		qb.JoinEq(tname(e[0]), colname(e[1]), tname(e[1]), colname(e[0]))
+	}
+	for _, oj := range g.outerJoins {
+		qb.LeftOuter(oj[0], oj[1])
+	}
+	for _, t := range g.selective {
+		qb.Filter(qb.Col(tname(t), colname(t)), query.Eq, 1e-4)
+	}
+	blk, err := qb.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return blk
+}
+
+// runDiff enumerates blk under opts, recording the emission sequence.
+func runDiff(blk *query.Block, opts Options) (Stats, []emission, *memo.Memo, error) {
+	mem := memo.New(blk.NumTables())
+	card := cost.NewEstimator(blk, cost.Simple)
+	var seq []emission
+	st, err := New(blk, mem, card, opts).Run(Hooks{
+		Join: func(outer, inner, result *memo.Entry) {
+			seq = append(seq, emission{outer.Tables, inner.Tables, result.Tables})
+		},
+	})
+	return st, seq, mem, err
+}
+
+func TestDifferentialIndexedVsNaive(t *testing.T) {
+	families := []string{"chain", "star", "cycle", "clique", "sparse"}
+	shapes := []Shape{Bushy, ZigZag, LeftDeep}
+	policies := []CartesianPolicy{CartesianCardOne, CartesianNever, CartesianAlways}
+	limits := []int{0, 1, 2}
+
+	cases := 0
+	for _, family := range families {
+		for n := 2; n <= 9; n++ {
+			rng := rand.New(rand.NewSource(int64(n)*1000 + int64(len(family))))
+			g := genGraph(family, n, rng)
+			blk := buildDiffBlock(t, g)
+			for _, shape := range shapes {
+				for _, pol := range policies {
+					for _, lim := range limits {
+						opts := Options{Shape: shape, Cartesian: pol, CompositeInnerLimit: lim}
+						naive := opts
+						naive.NaiveScan = true
+						stI, seqI, memI, errI := runDiff(blk, opts)
+						stN, seqN, _, errN := runDiff(blk, naive)
+						cases++
+						label := fmt.Sprintf("%s shape=%v pol=%v lim=%d", g.name, shape, pol, lim)
+
+						// Error parity: both scans must agree on whether the
+						// graph is fully joinable under these knobs.
+						if (errI == nil) != (errN == nil) {
+							t.Fatalf("%s: error mismatch: indexed=%v naive=%v", label, errI, errN)
+						}
+						if stI.Joins != stN.Joins || stI.Pairs != stN.Pairs || stI.Entries != stN.Entries {
+							t.Fatalf("%s: stats diverge: indexed=%+v naive=%+v", label, stI, stN)
+						}
+						// The candidate counters partition the naive visit
+						// count exactly.
+						if stN.CandidatesVisited != stI.CandidatesVisited+stI.CandidatesSkipped {
+							t.Fatalf("%s: candidate invariant broken: naive visited %d, indexed %d+%d",
+								label, stN.CandidatesVisited, stI.CandidatesVisited, stI.CandidatesSkipped)
+						}
+						if stN.CandidatesSkipped != 0 {
+							t.Fatalf("%s: naive scan skipped %d candidates, want 0", label, stN.CandidatesSkipped)
+						}
+						if len(seqI) != len(seqN) {
+							t.Fatalf("%s: emission count diverges: %d vs %d", label, len(seqI), len(seqN))
+						}
+						for i := range seqI {
+							if seqI[i] != seqN[i] {
+								t.Fatalf("%s: emission %d diverges: indexed %v naive %v",
+									label, i, seqI[i], seqN[i])
+							}
+						}
+						// The cached per-entry neighbor masks must equal the
+						// from-scratch computation.
+						for k := 1; k <= blk.NumTables(); k++ {
+							for _, e := range memI.OfSize(k) {
+								if want := blk.Neighbors(e.Tables); e.Neighbors != want {
+									t.Fatalf("%s: entry %v Neighbors = %v, want %v",
+										label, e.Tables, e.Neighbors, want)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Logf("compared %d graph/knob combinations", cases)
+}
+
+// TestDifferentialParallelScan pins the parallel driver to the same scan:
+// RunParallel's task order must match serial emission order in both modes.
+func TestDifferentialParallelScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := genGraph("sparse", 8, rng)
+	blk := buildDiffBlock(t, g)
+	for _, naive := range []bool{false, true} {
+		opts := Options{NaiveScan: naive}
+		_, serialSeq, _, err := runDiff(blk, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := memo.New(blk.NumTables())
+		card := cost.NewEstimator(blk, cost.Simple)
+		var parSeq []emission
+		_, err = New(blk, mem, card, opts).RunParallel(ParallelHooks{
+			NewWorker: func() (GenerateFunc, CommitFunc) {
+				var pending []emission
+				gen := func(task int, outer, inner, result *memo.Entry) {
+					for len(pending) <= task {
+						pending = append(pending, emission{})
+					}
+					pending[task] = emission{outer.Tables, inner.Tables, result.Tables}
+				}
+				commit := func(task int) { parSeq = append(parSeq, pending[task]) }
+				return gen, commit
+			},
+		}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parSeq) != len(serialSeq) {
+			t.Fatalf("naive=%v: parallel emitted %d tasks, serial %d", naive, len(parSeq), len(serialSeq))
+		}
+		for i := range parSeq {
+			if parSeq[i] != serialSeq[i] {
+				t.Fatalf("naive=%v: task %d diverges: parallel %v serial %v", naive, i, parSeq[i], serialSeq[i])
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ package enum
 
 import (
 	"fmt"
+	"slices"
 
 	"cote/internal/bitset"
 	"cote/internal/cost"
@@ -75,6 +76,25 @@ const (
 // floats so exact equality would be meaningless.
 const cartesianCardThreshold = 1.5
 
+// Cancellation poll strides. Polling the execution context costs an atomic
+// load plus a deadline comparison — cheap, but not free on loops whose body
+// is a handful of bitset ops. The strides bound cancellation latency
+// instead: between two polls the enumerator performs at most one poll
+// period of scan or generation work, each unit tens of nanoseconds to a few
+// microseconds, so a deadline or budget abort lands within well under a
+// millisecond of extra work — negligible against the millisecond-scale
+// budgets MOP hands out — while the poll cost stays off the per-pair path.
+const (
+	// outerPollMask polls once per 16 outer entries of a size-class scan
+	// (each outer drives at most one size class's worth of inner work).
+	outerPollMask = 15
+	// joinPollMask polls once per 64 emitted joins in the serial Run and
+	// once per 64 generated tasks in the parallel driver's inline path,
+	// where each unit includes plan generation (microseconds, the dominant
+	// per-join cost of real optimization).
+	joinPollMask = 63
+)
+
 // Options are the enumerator knobs. The zero value is the full bushy search
 // with DB2's Cartesian heuristic and no composite-inner limit.
 type Options struct {
@@ -89,6 +109,14 @@ type Options struct {
 	// enumeration promptly instead of letting it run to completion. A nil
 	// Exec is never cancelled and adds no per-join work.
 	Exec *optctx.Ctx
+	// NaiveScan forces the original DPsize cross-product scan of every size
+	// class instead of the candidate-driven connectivity-indexed scan. Both
+	// admit the identical join sequence (the differential suite runs them
+	// side by side); the naive scan remains as the oracle for those tests
+	// and as a diagnostic escape hatch. CartesianAlways implies it, since
+	// every disjoint pair is then admissible and no index can narrow the
+	// candidates.
+	NaiveScan bool
 }
 
 // Hooks are the callbacks the enumerator drives. Init is invoked once per
@@ -113,6 +141,15 @@ type Stats struct {
 	Pairs int
 	// Entries is the number of MEMO entries created.
 	Entries int
+	// CandidatesVisited counts the candidate (outer, inner) pairs the
+	// size-class scans actually examined; CandidatesSkipped counts pairs
+	// the connectivity index (or the size-class admissibility precheck)
+	// proved unable to join without visiting them. For any query,
+	// naive.CandidatesVisited == indexed.CandidatesVisited +
+	// indexed.CandidatesSkipped, and Skipped/(Visited+Skipped) is the
+	// fraction of the DPsize cross product the index eliminated.
+	CandidatesVisited int
+	CandidatesSkipped int
 }
 
 // Enumerator runs the DP join enumeration for one query block.
@@ -124,13 +161,33 @@ type Enumerator struct {
 	// stop latches a cancellation observed mid-scan so the remaining loops
 	// unwind without re-polling the context at every level.
 	stop bool
+	// cand is the scratch buffer holding one outer entry's candidate
+	// ordinals in the indexed scan, reused across the whole enumeration.
+	cand []int32
+	// smallBySize lists, per size class and in SizeOrd order, the entries
+	// whose cardinality passes the CartesianCardOne threshold — the only
+	// partners that policy can admit without a connecting predicate.
+	// Maintained (by finishEntry) only when the indexed scan is active
+	// under CartesianCardOne; nil otherwise.
+	smallBySize [][]int32
 }
 
 // New builds an enumerator writing into mem and using card for the logical
 // cardinality of each entry (the estimator mode chosen by the caller is
 // what differentiates real compilation from plan-estimate mode).
 func New(blk *query.Block, mem *memo.Memo, card *cost.Estimator, opts Options) *Enumerator {
-	return &Enumerator{blk: blk, mem: mem, card: card, opts: opts}
+	en := &Enumerator{blk: blk, mem: mem, card: card, opts: opts}
+	if en.indexed() && opts.Cartesian == CartesianCardOne {
+		en.smallBySize = make([][]int32, blk.NumTables()+1)
+	}
+	return en
+}
+
+// indexed reports whether the candidate-driven scan is active. Under
+// CartesianAlways every disjoint pair is admissible, so the full cross
+// product is the candidate set and the naive scan is used as-is.
+func (en *Enumerator) indexed() bool {
+	return !en.opts.NaiveScan && en.opts.Cartesian != CartesianAlways
 }
 
 // Run enumerates all joins bottom-up, invoking the hooks, and returns the
@@ -149,10 +206,10 @@ func (en *Enumerator) Run(hooks Hooks) (Stats, error) {
 				hooks.Join(outer, inner, result)
 			}
 			// Bound the cancellation latency of long size classes: one
-			// poll every 64 joins keeps the overhead off the per-join
-			// path while a deadline still lands within a small, fixed
-			// amount of generation work.
-			if joins++; joins&63 == 0 && en.opts.Exec.Cancelled() {
+			// poll per joinPollMask+1 joins keeps the overhead off the
+			// per-join path while a deadline still lands within a small,
+			// fixed amount of generation work.
+			if joins++; joins&joinPollMask == 0 && en.opts.Exec.Cancelled() {
 				en.stop = true
 			}
 		})
@@ -182,58 +239,203 @@ func (en *Enumerator) runBase(st *Stats, hooks Hooks) {
 // serial Run (emit = invoke the Join hook) and the parallel driver (emit =
 // buffer a task) share this scan, so the set and order of enumerated joins
 // are identical by construction.
+//
+// Two scan modes produce that identical sequence. The naive mode is the
+// DPsize cross product: every (size-i, size-j) pair is visited and rejected
+// by Overlaps/joinable/validSet. The indexed mode (the default) visits, per
+// outer S, only the size-j entries the connectivity index proves joinable:
+// entries containing a table of S.Neighbors (posting lists), plus — under
+// CartesianCardOne — entries small enough to be admitted unconnected. The
+// candidates are sorted by SizeOrd and deduplicated, which replays exactly
+// the subsequence of the naive inner loop that survives its joinable test,
+// so the admitted joins, their order, and every downstream stat are
+// bit-identical (the differential suite runs both modes side by side).
 func (en *Enumerator) scanSizeClass(k int, st *Stats, hooks Hooks, emit func(outer, inner, result *memo.Entry)) {
+	naive := !en.indexed()
 	for i := 1; i <= k/2; i++ {
 		j := k - i
 		smaller := en.mem.OfSize(i)
 		larger := en.mem.OfSize(j)
+		if len(smaller) == 0 || len(larger) == 0 {
+			continue
+		}
+		if !naive && !en.classAdmissible(i, j) {
+			// No orientation of any (size-i, size-j) pair can pass the
+			// size-dependent shape/composite-inner knobs, so the naive scan
+			// would walk the whole cross product and emit nothing (it
+			// counts Pairs/Joins/Entries only after admitting an
+			// orientation). Skip the class wholesale.
+			st.CandidatesSkipped += classPairs(i, j, len(smaller), len(larger))
+			continue
+		}
 		for si, S := range smaller {
 			if en.stop {
 				return
 			}
-			if si&15 == 0 && en.opts.Exec.Cancelled() {
+			if si&outerPollMask == 0 && en.opts.Exec.Cancelled() {
 				en.stop = true
 				return
 			}
-			for li, L := range larger {
-				if en.stop {
-					return
-				}
-				if i == j && li <= si {
-					continue // unordered pairs once
-				}
-				if S.Tables.Overlaps(L.Tables) {
-					continue
-				}
-				if !en.joinable(S, L) {
-					continue
-				}
-				union := S.Tables.Union(L.Tables)
-				if !en.validSet(union) {
-					continue
-				}
-				emitSL := en.orientationAllowed(S, L)
-				emitLS := en.orientationAllowed(L, S)
-				if !emitSL && !emitLS {
-					continue
-				}
-				result := en.mem.Entry(union)
-				if result == nil {
-					result = en.createJoinEntry(union, S, L, hooks)
-					st.Entries++
-				}
-				st.Pairs++
-				if emitSL {
-					st.Joins++
-					emit(S, L, result)
-				}
-				if emitLS {
-					st.Joins++
-					emit(L, S, result)
-				}
+			if naive || !en.sparseFor(S, j, len(larger)) {
+				// Full inner scan: the index is off, this outer itself
+				// passes the CartesianCardOne threshold (the policy then
+				// admits every disjoint partner), or the candidate set
+				// covers most of the class anyway — a dense class where
+				// gather-sort-replay costs more than the linear scan with
+				// its two-bitset-op rejection test.
+				en.scanFull(i, j, si, S, larger, st, hooks, emit)
+			} else {
+				en.scanCandidates(i, j, si, S, larger, st, hooks, emit)
 			}
 		}
 	}
+}
+
+// classPairs is the number of candidate pairs the naive scan visits for a
+// (size-i, size-j) class: the full cross product, except that the i == j
+// diagonal class pairs each unordered couple once.
+func classPairs(i, j, ns, nl int) int {
+	if i == j {
+		return nl * (nl - 1) / 2
+	}
+	return ns * nl
+}
+
+// scanFull is the naive inner loop over the whole size-j class — the
+// original DPsize scan body, and the per-outer fallback of the indexed scan
+// when the Cartesian policy admits arbitrary partners for this outer.
+func (en *Enumerator) scanFull(i, j, si int, S *memo.Entry, larger []*memo.Entry, st *Stats, hooks Hooks, emit func(outer, inner, result *memo.Entry)) {
+	for li, L := range larger {
+		if en.stop {
+			return
+		}
+		if i == j && li <= si {
+			continue // unordered pairs once
+		}
+		st.CandidatesVisited++
+		if S.Tables.Overlaps(L.Tables) {
+			continue
+		}
+		if !en.joinable(S, L) {
+			continue
+		}
+		en.tryEmit(S, L, st, hooks, emit)
+	}
+}
+
+// sparseFor decides whether the candidate-driven gather is worthwhile for
+// outer S against the size-j class: the candidate estimate (posting-list
+// lengths of S's neighbors, plus the small-cardinality list the Cartesian
+// policy can admit) must stay under half the class, and the outer itself
+// must not pass the CartesianCardOne threshold — a small outer joins every
+// disjoint partner, making the whole class the candidate set. Both scans
+// admit the identical sequence; this is purely a cost choice.
+func (en *Enumerator) sparseFor(S *memo.Entry, j, classLen int) bool {
+	est := 0
+	if en.smallBySize != nil {
+		if S.Card <= cartesianCardThreshold {
+			return false
+		}
+		est = len(en.smallBySize[j])
+		if est*2 >= classLen {
+			return false
+		}
+	}
+	for t := S.Neighbors.Next(0); t >= 0; t = S.Neighbors.Next(t + 1) {
+		est += len(en.mem.Posting(t, j))
+		if est*2 >= classLen {
+			return false
+		}
+	}
+	return true
+}
+
+// scanCandidates is the indexed inner loop: gather the ordinals of every
+// size-j entry the connectivity index proves joinable with S, replay them
+// in SizeOrd order, and emit through the shared admission path. Entries not
+// gathered are counted skipped — the naive scan would have visited and
+// rejected each one.
+func (en *Enumerator) scanCandidates(i, j, si int, S *memo.Entry, larger []*memo.Entry, st *Stats, hooks Hooks, emit func(outer, inner, result *memo.Entry)) {
+	cand := en.cand[:0]
+	for t := S.Neighbors.Next(0); t >= 0; t = S.Neighbors.Next(t + 1) {
+		cand = append(cand, en.mem.Posting(t, j)...)
+	}
+	if en.smallBySize != nil {
+		cand = append(cand, en.smallBySize[j]...)
+	}
+	en.cand = cand // keep the grown capacity even on early return
+	slices.Sort(cand)
+	visited := 0
+	prev := int32(-1)
+	for _, ord := range cand {
+		if en.stop {
+			return
+		}
+		if ord == prev {
+			continue // an entry posts once per table; small sets repost
+		}
+		prev = ord
+		if i == j && int(ord) <= si {
+			continue // unordered pairs once (the naive li <= si skip)
+		}
+		visited++
+		L := larger[ord]
+		if S.Tables.Overlaps(L.Tables) {
+			continue
+		}
+		// joinable(S, L) is true by construction and skipped: a
+		// posting-derived candidate contains a table of S.Neighbors (a
+		// predicate connects the pair), and a smallBySize candidate passes
+		// the CartesianCardOne threshold the policy tests.
+		en.tryEmit(S, L, st, hooks, emit)
+	}
+	// The naive scan would have visited, for this outer, every entry of the
+	// size-j class (only the li > si suffix on the i == j diagonal).
+	full := len(larger)
+	if i == j {
+		full = len(larger) - si - 1
+	}
+	st.CandidatesVisited += visited
+	st.CandidatesSkipped += full - visited
+}
+
+// tryEmit applies the per-pair admission checks shared by both scan modes —
+// outer-join set validity and per-orientation eligibility — creating the
+// result entry and emitting the admitted orientations. S and L are known
+// disjoint and joinable when this is called.
+func (en *Enumerator) tryEmit(S, L *memo.Entry, st *Stats, hooks Hooks, emit func(outer, inner, result *memo.Entry)) {
+	union := S.Tables.Union(L.Tables)
+	if !en.validSet(union) {
+		return
+	}
+	emitSL := en.orientationAllowed(S, L)
+	emitLS := en.orientationAllowed(L, S)
+	if !emitSL && !emitLS {
+		return
+	}
+	result := en.mem.Entry(union)
+	if result == nil {
+		result = en.createJoinEntry(union, S, L, hooks)
+		st.Entries++
+	}
+	st.Pairs++
+	if emitSL {
+		st.Joins++
+		emit(S, L, result)
+	}
+	if emitLS {
+		st.Joins++
+		emit(L, S, result)
+	}
+}
+
+// classAdmissible reports whether some (outer, inner) orientation of a
+// (size-i, size-j) pair can pass orientationAllowed's size-dependent knobs.
+// Outer-eligibility is entry-specific and checked per pair; the shape and
+// composite-inner knobs depend only on the sizes, so an inadmissible class
+// can be skipped wholesale.
+func (en *Enumerator) classAdmissible(i, j int) bool {
+	return en.sizeAllowed(i, j) || en.sizeAllowed(j, i)
 }
 
 // completeSize fires the Complete hook for every entry of size k.
@@ -263,26 +465,34 @@ func (en *Enumerator) createEntry(s bitset.Set, hooks Hooks) *memo.Entry {
 		return e
 	}
 	e.Card = en.card.Card(s)
-	en.finishEntry(e, s, hooks)
+	en.finishEntry(e, s, en.blk.Neighbors(s), hooks)
 	return e
 }
 
 // createJoinEntry materializes the entry for the union of two existing
 // entries, letting the cardinality estimator compose the union's
-// cardinality from the parts when its mode supports it.
+// cardinality from the parts when its mode supports it. The union's
+// neighbor mask composes the same way: N(S ∪ L) = (N(S) ∪ N(L)) \ (S ∪ L),
+// exact because both sides unfold to the members' adjacency sets minus the
+// union — so maintaining the connectivity index costs three bitset ops per
+// created entry instead of a walk over its tables.
 func (en *Enumerator) createJoinEntry(union bitset.Set, S, L *memo.Entry, hooks Hooks) *memo.Entry {
 	e, created := en.mem.GetOrCreate(union)
 	if !created {
 		return e
 	}
 	e.Card = en.card.JoinCard(S.Tables, L.Tables)
-	en.finishEntry(e, union, hooks)
+	en.finishEntry(e, union, S.Neighbors.Union(L.Neighbors).Diff(union), hooks)
 	return e
 }
 
-func (en *Enumerator) finishEntry(e *memo.Entry, s bitset.Set, hooks Hooks) {
+func (en *Enumerator) finishEntry(e *memo.Entry, s bitset.Set, neighbors bitset.Set, hooks Hooks) {
+	e.Neighbors = neighbors
 	e.Equiv = en.blk.EquivWithin(s)
 	e.OuterEligible = en.compositeOuterEligible(s)
+	if en.smallBySize != nil && e.Card <= cartesianCardThreshold {
+		en.smallBySize[s.Len()] = append(en.smallBySize[s.Len()], e.SizeOrd)
+	}
 	if hooks.Init != nil {
 		hooks.Init(e)
 	}
@@ -333,7 +543,9 @@ func (en *Enumerator) validSet(s bitset.Set) bool {
 // cardinality model of plan-estimate mode can change the set of joins
 // enumerated — the HSJN estimation error analyzed in Section 5.2.
 func (en *Enumerator) joinable(S, L *memo.Entry) bool {
-	if en.blk.Connects(S.Tables, L.Tables) {
+	// S.Neighbors is the cached Block.Neighbors(S.Tables), so the
+	// connectivity test is one AND instead of a walk over S's tables.
+	if S.Neighbors.Overlaps(L.Tables) {
 		return true
 	}
 	switch en.opts.Cartesian {
@@ -350,22 +562,22 @@ func (en *Enumerator) joinable(S, L *memo.Entry) bool {
 // outer must be outer-eligible and the shape and composite-inner knobs must
 // admit the inner.
 func (en *Enumerator) orientationAllowed(outer, inner *memo.Entry) bool {
-	if !outer.OuterEligible {
-		return false
-	}
-	innerSize := inner.Tables.Len()
+	return outer.OuterEligible && en.sizeAllowed(outer.Tables.Len(), inner.Tables.Len())
+}
+
+// sizeAllowed is the size-dependent part of orientationAllowed: whether the
+// shape and composite-inner knobs admit an (outerSize, innerSize)
+// orientation. classAdmissible uses it to discard whole size classes.
+func (en *Enumerator) sizeAllowed(outerSize, innerSize int) bool {
 	switch en.opts.Shape {
 	case LeftDeep:
 		if innerSize != 1 {
 			return false
 		}
 	case ZigZag:
-		if innerSize != 1 && outer.Tables.Len() != 1 {
+		if innerSize != 1 && outerSize != 1 {
 			return false
 		}
 	}
-	if en.opts.CompositeInnerLimit > 0 && innerSize > en.opts.CompositeInnerLimit {
-		return false
-	}
-	return true
+	return en.opts.CompositeInnerLimit <= 0 || innerSize <= en.opts.CompositeInnerLimit
 }

@@ -101,7 +101,7 @@ func (en *Enumerator) RunParallel(hooks ParallelHooks, workers int) (Stats, erro
 		case len(tasks) == 0:
 		case len(tasks) < serialThreshold || workers == 1:
 			for t := range tasks {
-				if t&63 == 0 && exec.Cancelled() {
+				if t&joinPollMask == 0 && exec.Cancelled() {
 					return st, exec.Err()
 				}
 				gens[0](t, tasks[t].outer, tasks[t].inner, tasks[t].result)

@@ -129,6 +129,16 @@ type Entry struct {
 	// outer of a join; the enumerator marks it from outer-join and
 	// correlation constraints.
 	OuterEligible bool
+	// Neighbors caches the join-graph neighborhood of Tables — the union of
+	// the adjacency sets of its members, minus Tables itself. The enumerator
+	// fills it at entry creation (composing it from the joined parts in O(1)
+	// for composite entries) and its candidate-driven scan uses it to visit
+	// only partners that a predicate can connect.
+	Neighbors bitset.Set
+	// SizeOrd is this entry's position within OfSize(Tables.Len()), i.e.
+	// its creation order inside its size class. The candidate-driven scan
+	// sorts candidates by SizeOrd to replay the canonical enumeration order.
+	SizeOrd int32
 	// Plans are the non-pruned plans (real optimization mode).
 	Plans []*Plan
 	// Orders and Parts are the interesting-property value lists
@@ -149,6 +159,17 @@ type Memo struct {
 	// hot consumers (plan counting, serialization, diagnostics) sort once
 	// after enumeration instead of once per call.
 	sorted []*Entry
+	// posting is the per-table posting index: posting[t*nsize+k] lists, in
+	// SizeOrd (creation) order, the ordinals of the size-k entries whose
+	// table set contains t. GetOrCreate maintains it incrementally; the
+	// enumerator's candidate-driven scan unions the lists of an entry's
+	// neighbor tables to visit only partners a predicate can connect. The
+	// flat layout (one backing slice of buckets, int32 ordinals) keeps the
+	// index to a single allocation plus amortized bucket growth.
+	posting [][]int32
+	// nsize is the bucket stride of posting: one bucket per size class
+	// 0..n, i.e. n+1 per table.
+	nsize  int
 	nplans int
 	// PipelineMatters makes pipelineability a pruning-relevant property:
 	// a non-pipelined plan can no longer dominate a pipelined one. Set by
@@ -165,6 +186,8 @@ func New(n int) *Memo {
 	return &Memo{
 		entries: make(map[bitset.Set]*Entry),
 		bySize:  make([][]*Entry, n+1),
+		posting: make([][]int32, n*(n+1)),
+		nsize:   n + 1,
 	}
 }
 
@@ -174,11 +197,25 @@ func (m *Memo) GetOrCreate(s bitset.Set) (e *Entry, created bool) {
 	if e, ok := m.entries[s]; ok {
 		return e, false
 	}
-	e = &Entry{Tables: s, OuterEligible: true}
+	k := s.Len()
+	e = &Entry{Tables: s, OuterEligible: true, SizeOrd: int32(len(m.bySize[k]))}
 	m.entries[s] = e
-	m.bySize[s.Len()] = append(m.bySize[s.Len()], e)
+	m.bySize[k] = append(m.bySize[k], e)
+	s.ForEach(func(t int) {
+		i := t*m.nsize + k
+		m.posting[i] = append(m.posting[i], e.SizeOrd)
+	})
 	m.sorted = nil // invalidate the Entries() snapshot
 	return e, true
+}
+
+// Posting returns the ordinals (SizeOrd values, strictly increasing) of the
+// size-k entries whose table set contains table t — the posting list the
+// candidate-driven enumerator scans instead of the full size class. The
+// returned slice is owned by the MEMO: callers must not mutate it, and must
+// not hold it across a GetOrCreate that adds a size-k entry.
+func (m *Memo) Posting(t, k int) []int32 {
+	return m.posting[t*m.nsize+k]
 }
 
 // Reset returns the MEMO to the empty state for a block of n tables,
@@ -194,6 +231,19 @@ func (m *Memo) Reset(n int) {
 		for i, g := range m.bySize {
 			clear(g) // drop stale entry pointers so the pool pins nothing
 			m.bySize[i] = g[:0]
+		}
+	}
+	// Resize the posting index first, then truncate over the FULL new
+	// length: a Reset to fewer tables followed by a Reset back to more would
+	// otherwise resurrect buckets that were beyond the shrunken length and
+	// never emptied, replaying stale ordinals into the candidate scan.
+	m.nsize = n + 1
+	if np := n * (n + 1); np > cap(m.posting) {
+		m.posting = make([][]int32, np)
+	} else {
+		m.posting = m.posting[:np]
+		for i, p := range m.posting {
+			m.posting[i] = p[:0]
 		}
 	}
 	m.sorted = nil

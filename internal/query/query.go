@@ -426,6 +426,13 @@ func pairKey(a, c int) [2]int {
 	return [2]int{a, c}
 }
 
+// Adjacency returns the precomputed set of tables linked to table t by at
+// least one join predicate. Finalize must have run. Because adjacency is a
+// single-word bitset, connectivity tests over table sets reduce to a few
+// machine ops — the basis of the enumerator's candidate-driven scans, which
+// compose per-entry neighbor masks incrementally from these sets.
+func (b *Block) Adjacency(t int) bitset.Set { return b.adjacency[t] }
+
 // Neighbors returns the tables adjacent (via any join predicate) to any
 // table in s, excluding s itself. Finalize must have run.
 func (b *Block) Neighbors(s bitset.Set) bitset.Set {

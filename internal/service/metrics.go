@@ -141,6 +141,14 @@ type Metrics struct {
 	Observations  Counter
 	ModelInstalls Counter
 
+	// EnumCandidatesVisited / EnumCandidatesSkipped aggregate the
+	// connectivity-indexed scan's work over every enumeration the server ran:
+	// size-class partner slots actually examined vs proved irrelevant by the
+	// adjacency index (their sum is what the naive cross-product scan would
+	// have walked).
+	EnumCandidatesVisited Counter
+	EnumCandidatesSkipped Counter
+
 	// StageCount / StageTimeUS aggregate the per-stage observability of
 	// every completed compilation: units processed and microseconds spent in
 	// parse, enumerate, generate and prune.
@@ -228,6 +236,10 @@ func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache, cal *calib.Calibrat
 			"recalibrations":  cs.Recalibrations,
 			"refits_rejected": cs.Rejected,
 			"refits_failed":   cs.Failures,
+		},
+		"enum_scan": map[string]int64{
+			"candidates_visited": m.EnumCandidatesVisited.Value(),
+			"candidates_skipped": m.EnumCandidatesSkipped.Value(),
 		},
 		"stages": m.stagesSnapshot(),
 	}

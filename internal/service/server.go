@@ -269,6 +269,8 @@ func (s *Server) estimateFor(ctx context.Context, entry *RegistryEntry, blk *que
 			// the warm-path zero-enumeration guarantee is asserted on this
 			// counter.
 			s.metrics.ObserveStage(optctx.StageEnumerate, int64(est.Joins), est.Elapsed)
+			s.metrics.EnumCandidatesVisited.AddN(int64(est.CandidatesVisited))
+			s.metrics.EnumCandidatesSkipped.AddN(int64(est.CandidatesSkipped))
 		}
 		return est, err
 	}

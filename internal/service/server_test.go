@@ -232,6 +232,13 @@ func TestServerEndToEnd(t *testing.T) {
 	if pool["workers"].(float64) != 4 || pool["running"].(float64) != 0 {
 		t.Fatalf("pool gauges: %v", pool)
 	}
+	// The connectivity-indexed scan counters observed the enumerations: real
+	// workload graphs are sparse, so some partner slots must have been both
+	// visited and skipped.
+	scan := m["enum_scan"].(map[string]any)
+	if scan["candidates_visited"].(float64) <= 0 || scan["candidates_skipped"].(float64) <= 0 {
+		t.Fatalf("enum_scan counters: %v", scan)
+	}
 }
 
 // TestServerCacheEviction runs the estimate endpoint against a capacity-2
