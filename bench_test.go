@@ -299,11 +299,17 @@ func BenchmarkEstimateReal2Headline(b *testing.B) {
 	q := wls["real2_s"].Queries[7]
 	b.ReportAllocs()
 	b.ResetTimer()
+	var est *core.Estimate
 	for i := 0; i < b.N; i++ {
-		if _, err := core.EstimatePlans(q.Block, core.Options{Level: experiments.Level}); err != nil {
+		var err error
+		if est, err = core.EstimatePlans(q.Block, core.Options{Level: experiments.Level}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	// The estimate path's own measured durable bytes — deterministic, so the
+	// metric is stable across runs and machines.
+	b.ReportMetric(float64(est.MeasuredPeakBytes), "peak-bytes")
 }
 
 // --- Cross-query fingerprint memoization ---

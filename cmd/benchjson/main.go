@@ -282,18 +282,19 @@ func printDelta(w io.Writer, base, cur *Doc, basePath string) {
 	sort.Strings(sorted)
 
 	fmt.Fprintf(w, "benchmark deltas vs %s (informational; single-run medians, expect noise)\n", basePath)
-	fmt.Fprintf(w, "%-44s %14s %14s %9s %11s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	fmt.Fprintf(w, "%-44s %14s %14s %9s %11s %11s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs", "peak-bytes")
 	for _, name := range sorted {
 		b, inBase := base.Benchmarks[name]
 		c, inCur := cur.Benchmarks[name]
 		switch {
 		case !inCur:
-			fmt.Fprintf(w, "%-44s %14.0f %14s %9s %11s\n", name, b.NsPerOp, "-", "gone", "")
+			fmt.Fprintf(w, "%-44s %14.0f %14s %9s %11s %11s\n", name, b.NsPerOp, "-", "gone", "", "")
 		case !inBase:
-			fmt.Fprintf(w, "%-44s %14s %14.0f %9s %11s\n", name, "-", c.NsPerOp, "new", "")
+			fmt.Fprintf(w, "%-44s %14s %14.0f %9s %11s %11s\n", name, "-", c.NsPerOp, "new", "", "")
 		default:
-			fmt.Fprintf(w, "%-44s %14.0f %14.0f %s %11s\n",
-				name, b.NsPerOp, c.NsPerOp, deltaPct(b.NsPerOp, c.NsPerOp), deltaPct(b.AllocsPerOp, c.AllocsPerOp))
+			fmt.Fprintf(w, "%-44s %14.0f %14.0f %s %11s %11s\n",
+				name, b.NsPerOp, c.NsPerOp, deltaPct(b.NsPerOp, c.NsPerOp), deltaPct(b.AllocsPerOp, c.AllocsPerOp),
+				deltaPct(b.Extra["peak-bytes"], c.Extra["peak-bytes"]))
 		}
 	}
 }

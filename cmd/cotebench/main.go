@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cotebench [-fig all|2|4a|4b|4c|5a|5d|5g|6a|6b|6c|6d|6e|6f|ct|joinbaseline|pilot|mem|piggyback|ablations|enumscan|calib] [-seed N] [-timeout 0] [-model-file f.json]
+//	cotebench [-fig all|2|4a|4b|4c|5a|5d|5g|6a|6b|6c|6d|6e|6f|ct|joinbaseline|pilot|mem|memfig|piggyback|ablations|enumscan|calib] [-seed N] [-timeout 0] [-model-file f.json]
 //
 // The calib figure replays a deterministic workload through the online
 // calibration loop, showing predicted/actual convergence from a 4x
@@ -60,7 +60,7 @@ func main() {
 	ids := strings.Split(*fig, ",")
 	if *fig == "all" {
 		ids = []string{"2", "4a", "4b", "4c", "5a", "5d", "5g", "6a", "6b", "6c", "6d", "6e", "6f",
-			"ct", "joinbaseline", "pilot", "mem", "piggyback", "ablations", "pipeline", "cache", "parallel",
+			"ct", "joinbaseline", "pilot", "mem", "memfig", "piggyback", "ablations", "pipeline", "cache", "parallel",
 			"fingerprint", "enumscan", "calib"}
 	}
 	for _, id := range ids {
@@ -189,6 +189,8 @@ func (s *suite) run(id string) error {
 		return s.pilot()
 	case "mem":
 		return s.memory()
+	case "memfig":
+		return s.memFig()
 	case "piggyback":
 		return s.piggyback()
 	case "ablations":
@@ -706,6 +708,44 @@ func (s *suite) memory() error {
 		fmt.Printf("%-16s %13dB %13dB\n", r.Query, r.PredictedBytes, r.ActualBytes)
 	}
 	fmt.Println("(the prediction is a lower bound on optimizer memory, per the paper)")
+	fmt.Println()
+	return nil
+}
+
+// memFig evaluates the resource-accounting memory model: a calibration pass
+// over the synthetic workloads fits the coefficients, then every evaluation
+// query is compiled under a resource accountant at every DP level and the
+// calibrated prediction is compared against the measured durable peak.
+func (s *suite) memFig() error {
+	fmt.Println("=== Extension: predicted vs measured peak optimizer memory ===")
+	levels := []opt.Level{opt.LevelMediumLeftDeep, opt.LevelMediumZigZag, opt.LevelHighInner2}
+	model, err := experiments.MemCalibrationPass(
+		[]*workload.Workload{s.wl("linear_s"), s.wl("star_s"), s.wl("random_s")}, levels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated memory model: %+.1f B/entry, %+.2f B/plan, %+.2f B/prop-byte, base %.0f B\n",
+		model.PerEntry, model.PerPlan, model.PerPropByte, model.Base)
+	fmt.Printf("%-10s %-16s %-18s %12s %12s %7s\n", "workload", "query", "level", "predicted", "measured", "ratio")
+	for _, name := range []string{"real1_s", "real2_s", "tpch_s"} {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+		rows, err := experiments.MemFig(s.wl(name), levels, model)
+		if err != nil {
+			return err
+		}
+		var worst float64
+		for _, r := range rows {
+			fmt.Printf("%-10s %-16s %-18v %11dB %11dB %6.2fx\n",
+				r.Workload, r.Query, r.Level, r.Predicted, r.Measured, r.Ratio())
+			if ratio := r.Ratio(); ratio > worst {
+				worst = ratio
+			}
+		}
+		fmt.Printf("%-10s worst over-prediction %.2fx\n", name, worst)
+	}
+	fmt.Println("(measured = durable MEMO high-water from the run's resource accountant)")
 	fmt.Println()
 	return nil
 }

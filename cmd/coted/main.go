@@ -6,8 +6,8 @@
 // Usage:
 //
 //	coted [-addr :8334] [-workers N] [-queue N] [-timeout 30s]
-//	      [-cache 1024] [-budget 0] [-budget-factor 0] [-downgrade]
-//	      [-calibrate star] [-model-file cote-model.json]
+//	      [-cache 1024] [-budget 0] [-budget-factor 0] [-mem-budget 0]
+//	      [-downgrade] [-calibrate star] [-model-file cote-model.json]
 //	      [-recalibrate-min-samples 8] [-drift-threshold 0.5]
 //	      [-parallelism N] [-grace 10s] [-pprof]
 //
@@ -59,6 +59,7 @@ func main() {
 	cacheCap := flag.Int("cache", 1024, "estimate cache capacity (entries, keyed by catalog epoch + structural fingerprint + level)")
 	budget := flag.Duration("budget", 0, "admission budget: reject/downgrade optimizations predicted to compile longer than this (0 = off)")
 	budgetFactor := flag.Float64("budget-factor", 0, "abort a compile whose generated plans overrun the prediction by this factor (0 = off; needs a model)")
+	memBudget := flag.Int64("mem-budget", 0, "peak optimizer memory budget in bytes: reject/downgrade optimizations predicted to exceed it and abort compiles that measurably do (0 = off)")
 	downgrade := flag.Bool("downgrade", false, "downgrade over-budget optimizations to a cheaper level instead of rejecting")
 	parallelism := flag.Int("parallelism", 1, "max intra-query parallelism per optimize request (workers default shrinks to compensate)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown window; in-flight work is cancelled halfway through")
@@ -101,6 +102,7 @@ func main() {
 		CacheCapacity:  *cacheCap,
 		Budget:         *budget,
 		BudgetFactor:   *budgetFactor,
+		MemBudget:      *memBudget,
 		Downgrade:      *downgrade,
 		MaxParallelism: *parallelism,
 		Models:         reg,

@@ -6,13 +6,14 @@
 // Usage:
 //
 //	explain [-catalog tpch|warehouse1|warehouse2] [-nodes 1|4] [-level high|inner2|zigzag|leftdeep]
-//	        [-timeout 0] [-model-file f.json] [-calibrate star] 'SELECT ...'
+//	        [-timeout 0] [-mem-budget 0] [-model-file f.json] [-calibrate star] 'SELECT ...'
 //
 // With no query argument, a TPC-H demonstration query is used. -timeout
 // bounds the whole run (compile + estimate); an expired deadline stops the
-// optimizer cooperatively mid-enumeration. With a time model (-model-file,
-// or -calibrate to fit one on a named workload) the estimator also reports
-// the wall-clock compilation-time prediction.
+// optimizer cooperatively mid-enumeration. -mem-budget aborts the compile
+// when its measured optimizer memory crosses that many bytes. With a time
+// model (-model-file, or -calibrate to fit one on a named workload) the
+// estimator also reports the wall-clock compilation-time prediction.
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 	nodes := flag.Int("nodes", 1, "logical nodes (1 = serial, 4 = the paper's parallel setup)")
 	levelName := flag.String("level", "inner2", "optimization level: high, inner2, zigzag, leftdeep")
 	timeout := flag.Duration("timeout", 0, "deadline for compile + estimate (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "abort the compile when measured optimizer memory crosses this many bytes (0 = off)")
 	var mf modelio.Flags
 	mf.Register(flag.CommandLine, "")
 	flag.Parse()
@@ -94,7 +96,11 @@ func main() {
 		defer cancel()
 	}
 
-	res, err := cote.OptimizeCtx(ctx, q, cote.OptimizeOptions{Level: level, Config: cfg})
+	oc := cote.NewExecContext(ctx)
+	if *memBudget > 0 {
+		oc.SetMemBudget(*memBudget)
+	}
+	res, err := cote.OptimizeWith(oc, q, cote.OptimizeOptions{Level: level, Config: cfg})
 	if err != nil {
 		fatalf("optimize: %v", err)
 	}
@@ -105,6 +111,8 @@ func main() {
 	fmt.Printf("\n=== real compilation ===\n")
 	fmt.Printf("time %v | %d join pairs (%d ordered) | plans generated: %v\n",
 		res.Elapsed, pairs, ordered, actual)
+	fmt.Printf("optimizer memory: peak %d B (durable %d B)\n",
+		res.Resources.PeakBytes, res.Resources.DurablePeakBytes)
 
 	model, reg, err := mf.Resolve(*nodes)
 	if err != nil {

@@ -33,6 +33,7 @@ func main() {
 	static := flag.Bool("static", false, "treat queries as static (repeatedly executed): 10x compile budget")
 	timeout := flag.Duration("timeout", 0, "per-query meta-optimization deadline (0 = none)")
 	budgetFactor := flag.Float64("budget-factor", 0, "abort+downgrade a recompile overrunning the predicted plan count by this factor (0 = off)")
+	memBudget := flag.Int64("mem-budget", 0, "per-rung peak optimizer memory budget in bytes: skip rungs predicted over it, abort rungs measured over it (0 = off)")
 	var mf modelio.Flags
 	mf.Register(flag.CommandLine, "star")
 	flag.Parse()
@@ -80,10 +81,11 @@ func main() {
 		Observer:     cal,
 		Static:       *static,
 		BudgetFactor: *budgetFactor,
+		MemBudget:    *memBudget,
 	}
 
-	fmt.Printf("%-16s %14s %14s %10s %18s %8s\n", "query", "E (greedy exec)", "C (est compile)", "recompile", "final plan cost", "aborts")
-	recompiled, aborted := 0, 0
+	fmt.Printf("%-16s %14s %14s %10s %18s %8s %12s\n", "query", "E (greedy exec)", "C (est compile)", "recompile", "final plan cost", "aborts", "peak bytes")
+	recompiled, aborted, memLimited := 0, 0, 0
 	for _, q := range w.Queries {
 		ctx := context.Background()
 		cancel := func() {}
@@ -101,12 +103,16 @@ func main() {
 			recompiled++
 		}
 		aborted += len(dec.AbortedLevels)
-		fmt.Printf("%-16s %14v %14v %10s %18v %8d\n",
-			q.Name, dec.LowPlanExecCost, dec.HighCompileEstimate, mark, dec.FinalPlanCost, len(dec.AbortedLevels))
+		memLimited += len(dec.MemSkippedLevels) + len(dec.MemAbortedLevels)
+		fmt.Printf("%-16s %14v %14v %10s %18v %8d %12d\n",
+			q.Name, dec.LowPlanExecCost, dec.HighCompileEstimate, mark, dec.FinalPlanCost, len(dec.AbortedLevels), dec.FinalPeakBytes)
 	}
 	fmt.Printf("\nrecompiled %d of %d queries at the high level", recompiled, len(w.Queries))
 	if *budgetFactor > 0 {
 		fmt.Printf("; %d level(s) budget-aborted", aborted)
+	}
+	if *memBudget > 0 {
+		fmt.Printf("; %d level(s) memory-limited", memLimited)
 	}
 	fmt.Println()
 	if st := cal.Stats(); st.Recalibrations > 0 {

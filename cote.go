@@ -36,6 +36,7 @@ import (
 	"cote/internal/optctx"
 	"cote/internal/props"
 	"cote/internal/query"
+	"cote/internal/resource"
 	"cote/internal/sqlparser"
 	"cote/internal/workload"
 )
@@ -144,6 +145,15 @@ func NewExecContext(ctx context.Context) *ExecContext { return optctx.New(ctx) }
 // budget and was aborted.
 var ErrBudgetExceeded = optctx.ErrBudgetExceeded
 
+// ErrMemBudgetExceeded reports that a compilation's measured optimizer
+// memory crossed its byte budget (ExecContext.SetMemBudget) and was aborted.
+var ErrMemBudgetExceeded = optctx.ErrMemBudgetExceeded
+
+// ResourceSnapshot is a point-in-time view of one compilation's measured
+// memory accounting: current and peak bytes, total and durable (the
+// deterministic MEMO content the memory model predicts), per kind.
+type ResourceSnapshot = resource.Snapshot
+
 // OptimizeWith compiles under an execution context. A nil ExecContext
 // behaves exactly like Optimize.
 func OptimizeWith(oc *ExecContext, q *Query, opts OptimizeOptions) (*OptimizeResult, error) {
@@ -237,6 +247,43 @@ func TrainingPointFrom(res *OptimizeResult) TrainingPoint {
 // JoinCountModel is the prior-work baseline time model: T scales with the
 // Ono-Lohman join count instead of the generated-plan counts.
 type JoinCountModel = core.JoinCountModel
+
+// MemModel converts the estimator's structural counts (MEMO entries, plans,
+// property bytes) into a predicted peak of durable optimizer memory — the
+// memory-side analogue of TimeModel (Section 6's optimizer-resource
+// estimation).
+type MemModel = core.MemModel
+
+// DefaultMemModel returns the uncalibrated structural memory model built
+// from the MEMO's real per-entry/per-plan footprints. It over-predicts
+// (safe for admission) until CalibrateMemory refines it.
+func DefaultMemModel() *MemModel { return core.DefaultMemModel() }
+
+// MemPoint pairs one real compilation's structural counts with its measured
+// durable peak bytes — the training unit of memory calibration.
+type MemPoint = core.MemPoint
+
+// MemPointFrom builds a memory training point from an estimate and the
+// measured durable peak of the corresponding real compilation.
+func MemPointFrom(est *Estimate, peakBytes int64) MemPoint {
+	return core.MemPointFrom(est, peakBytes)
+}
+
+// CalibrateMemory fits the memory model's coefficients by non-negative
+// least squares on measured peak observations, exactly as Calibrate fits
+// the time model's Ct constants.
+func CalibrateMemory(points []MemPoint) (*MemModel, error) {
+	return core.CalibrateMemory(points)
+}
+
+// EstimateMemory predicts the peak durable optimizer memory of a
+// compilation from its estimate's structural counts under the model (nil
+// model selects DefaultMemModel).
+func EstimateMemory(est *Estimate, m *MemModel) int64 { return core.EstimateMemory(est, m) }
+
+// MemModelProvider supplies the current memory model on every read; a
+// ModelRegistry is one.
+type MemModelProvider = core.MemModelProvider
 
 // CompileObservation pairs one real compilation's plan counts and measured
 // wall time with the prediction that was made for it — the feedback unit of

@@ -99,6 +99,10 @@ type Stats struct {
 	// fit but failed the hysteresis test; Failures counts refits whose
 	// regression errored (singular window and the like).
 	Recalibrations, Rejected, Failures int64
+	// MemSamples counts window observations carrying a usable memory
+	// measurement; MemRecalibrations counts installed memory-model refits.
+	MemSamples        int
+	MemRecalibrations int64
 }
 
 // Calibrator closes the feedback loop: it implements core.CompileObserver,
@@ -117,10 +121,11 @@ type Calibrator struct {
 	refitMu      sync.Mutex
 	sinceAttempt int
 
-	observations   atomic.Int64
-	recalibrations atomic.Int64
-	rejected       atomic.Int64
-	failures       atomic.Int64
+	observations      atomic.Int64
+	recalibrations    atomic.Int64
+	rejected          atomic.Int64
+	failures          atomic.Int64
+	memRecalibrations atomic.Int64
 }
 
 // NewCalibrator returns a calibrator feeding reg. reg may already hold a
@@ -160,6 +165,9 @@ func (c *Calibrator) Stats() Stats {
 		Recalibrations: c.recalibrations.Load(),
 		Rejected:       c.rejected.Load(),
 		Failures:       c.failures.Load(),
+		MemSamples:     len(memPoints(c.log.Snapshot())),
+
+		MemRecalibrations: c.memRecalibrations.Load(),
 	}
 }
 
@@ -253,6 +261,43 @@ func (c *Calibrator) Recalibrate(source string) (*ModelVersion, error) {
 		c.cfg.OnSwap(v)
 	}
 	return v, nil
+}
+
+// RecalibrateMemory refits the memory model over the observations in the
+// window that carry a measured peak (real compilations run with a resource
+// accountant attached) and installs it as a new registry version, the time
+// model riding along unchanged. It returns ErrNotEnoughSamples when fewer
+// than four such observations are available — the regression's own floor.
+func (c *Calibrator) RecalibrateMemory(source string) (*ModelVersion, error) {
+	c.refitMu.Lock()
+	defer c.refitMu.Unlock()
+
+	points := memPoints(c.log.Snapshot())
+	if len(points) < 4 {
+		return nil, ErrNotEnoughSamples
+	}
+	candidate, err := core.CalibrateMemory(points)
+	if err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	v := c.reg.InstallMem(candidate, source, len(points))
+	c.memRecalibrations.Add(1)
+	if c.cfg.OnSwap != nil {
+		c.cfg.OnSwap(v)
+	}
+	return v, nil
+}
+
+// memPoints extracts the memory-calibration points from a window snapshot.
+func memPoints(window []Observation) []core.MemPoint {
+	var points []core.MemPoint
+	for _, o := range window {
+		if p, ok := o.MemPoint(); ok {
+			points = append(points, p)
+		}
+	}
+	return points
 }
 
 // windowError is the mean relative error of a model's predictions over a

@@ -86,10 +86,10 @@ func Load(path string, retain int, hostTinst float64) (*Registry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, v := range f.Versions {
-		if v == nil || v.Model == nil {
+		if v == nil || (v.Model == nil && v.Mem == nil) {
 			return nil, fmt.Errorf("calib: load registry %s: version entry without a model", path)
 		}
-		if scale != 1 {
+		if scale != 1 && v.Model != nil {
 			m := *v.Model
 			m.Tinst *= scale
 			v.Model = &m

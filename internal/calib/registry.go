@@ -24,6 +24,11 @@ type ModelVersion struct {
 	Version int `json:"version"`
 	// Model is the snapshot itself.
 	Model *core.TimeModel `json:"model"`
+	// Mem is the memory model paired with this version (nil until a memory
+	// calibration has run). Plain time-model installs carry the incumbent
+	// memory model forward, so the two calibrate on independent cadences
+	// while staying behind one version number.
+	Mem *core.MemModel `json:"mem_model,omitempty"`
 	// Source records provenance: "seed", "calibrate", "recalibrate", "api",
 	// "file", or "rollback(vN)".
 	Source string `json:"source"`
@@ -41,7 +46,7 @@ type ModelVersion struct {
 // Registry is the versioned model store: the current model sits behind an
 // atomic pointer (the read path — every estimate — is a single load), while
 // installs, history and rollback serialize on a mutex. It implements
-// core.ModelProvider.
+// core.ModelProvider and core.MemModelProvider.
 type Registry struct {
 	cur atomic.Pointer[ModelVersion]
 
@@ -69,6 +74,15 @@ func (r *Registry) CurrentModel() *core.TimeModel {
 	return nil
 }
 
+// CurrentMemModel returns the current memory model, nil until one was
+// installed. This is the core.MemModelProvider hot path: one atomic load.
+func (r *Registry) CurrentMemModel() *core.MemModel {
+	if v := r.cur.Load(); v != nil {
+		return v.Mem
+	}
+	return nil
+}
+
 // Current returns the current version snapshot (nil while empty).
 func (r *Registry) Current() *ModelVersion { return r.cur.Load() }
 
@@ -81,18 +95,43 @@ func (r *Registry) Version() int {
 }
 
 // Install snapshots m as the new current model and returns its version.
-// The model must not be mutated by the caller afterwards.
+// The model must not be mutated by the caller afterwards. The incumbent
+// memory model, if any, is carried forward unchanged.
 func (r *Registry) Install(m *core.TimeModel, source string, samples int, fitErr float64) *ModelVersion {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.installLocked(m, source, samples, fitErr)
+	return r.installLocked(m, nil, source, samples, fitErr)
 }
 
-func (r *Registry) installLocked(m *core.TimeModel, source string, samples int, fitErr float64) *ModelVersion {
+// InstallMem snapshots mem as the new current memory model, carrying the
+// incumbent time model forward as a new version. mem must not be mutated by
+// the caller afterwards.
+func (r *Registry) InstallMem(mem *core.MemModel, source string, samples int) *ModelVersion {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var tm *core.TimeModel
+	var fitErr float64
+	if cur := r.cur.Load(); cur != nil {
+		tm, fitErr = cur.Model, cur.FitErr
+	}
+	v := r.installLocked(tm, mem, source, samples, fitErr)
+	return v
+}
+
+// installLocked installs a new version. mem, when nil, inherits the
+// incumbent's memory model — versions snapshot both models even when only
+// one was refit.
+func (r *Registry) installLocked(m *core.TimeModel, mem *core.MemModel, source string, samples int, fitErr float64) *ModelVersion {
+	if mem == nil {
+		if prev := r.cur.Load(); prev != nil {
+			mem = prev.Mem
+		}
+	}
 	r.lastVer++
 	v := &ModelVersion{
 		Version:         r.lastVer,
 		Model:           m,
+		Mem:             mem,
 		Source:          source,
 		Samples:         samples,
 		FitErr:          fitErr,
@@ -135,8 +174,17 @@ func (r *Registry) Rollback(version int) (*ModelVersion, error) {
 	defer r.mu.Unlock()
 	for _, v := range r.history {
 		if v.Version == version {
-			cp := *v.Model
-			return r.installLocked(&cp, fmt.Sprintf("rollback(v%d)", version), v.Samples, v.FitErr), nil
+			var tm *core.TimeModel
+			if v.Model != nil {
+				cp := *v.Model
+				tm = &cp
+			}
+			var mem *core.MemModel
+			if v.Mem != nil {
+				mcp := *v.Mem
+				mem = &mcp
+			}
+			return r.installLocked(tm, mem, fmt.Sprintf("rollback(v%d)", version), v.Samples, v.FitErr), nil
 		}
 	}
 	return nil, fmt.Errorf("calib: version %d not retained (have %d..%d)", version, r.oldestLocked(), r.lastVer)

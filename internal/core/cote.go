@@ -7,11 +7,13 @@ import (
 
 	"cote/internal/cost"
 	"cote/internal/enum"
+	"cote/internal/knobs"
 	"cote/internal/memo"
 	"cote/internal/opt"
 	"cote/internal/optctx"
 	"cote/internal/props"
 	"cote/internal/query"
+	"cote/internal/resource"
 )
 
 // Options configures a compilation-time estimation run. The zero value
@@ -43,6 +45,11 @@ type Options struct {
 	// read once per run, so a mid-stream model swap is picked up by the
 	// next estimation without re-wiring options.
 	Models ModelProvider
+	// MemModel converts the estimate's structural counts into a predicted
+	// peak optimizer memory. When nil, a Models provider that also versions
+	// memory models (MemModelProvider) is consulted, then the structural
+	// default — so PredictedPeakBytes is always populated.
+	MemModel *MemModel
 	// Exec, when non-nil, bounds the estimation run: its cancellation is
 	// honored at block and enumeration granularity. Estimation is cheap
 	// (sub-3% of real compilation), but deadline-sensitive callers want even
@@ -66,6 +73,11 @@ type BlockEstimate struct {
 	Entries int
 	// PropertyBytes is the space the interesting-property lists used.
 	PropertyBytes int
+	// MeasuredBytes is the durable byte total charged to this block's MEMO
+	// (entry footprints plus property values at their fixed per-structure
+	// sizes). It is computed from the memo-local tally, so it is populated —
+	// and deterministic — even when no run accountant is attached.
+	MeasuredBytes int64
 }
 
 // Estimate is the estimation outcome for a whole query.
@@ -89,6 +101,14 @@ type Estimate struct {
 	// PredictedMemoryBytes is the optimizer memory lower bound of the
 	// Section 6.2 extension.
 	PredictedMemoryBytes int64
+	// PredictedPeakBytes is the memory model's prediction of the real
+	// compile's durable MEMO high-water mark at this level (entries,
+	// retained plans, property values at fixed per-structure sizes).
+	PredictedPeakBytes int64
+	// MeasuredPeakBytes totals the durable bytes the estimation run's own
+	// MEMOs were charged — the estimator's measured counterpart, bit-stable
+	// across pool states and parallelism.
+	MeasuredPeakBytes int64
 }
 
 // EstimatePlans runs plan-estimate mode on a query: the join enumerator is
@@ -98,10 +118,7 @@ type Estimate struct {
 // the parents, mirroring the real optimizer's multi-block processing.
 func EstimatePlans(blk *query.Block, opts Options) (*Estimate, error) {
 	start := time.Now()
-	cfg := opts.Config
-	if cfg == nil {
-		cfg = cost.Serial
-	}
+	cfg := knobs.CostConfig(opts.Config)
 	est := &Estimate{}
 	for _, b := range blk.Blocks() {
 		if opts.Exec.Cancelled() {
@@ -118,6 +135,7 @@ func EstimatePlans(blk *query.Block, opts Options) (*Estimate, error) {
 		est.CandidatesVisited += be.EnumStats.CandidatesVisited
 		est.CandidatesSkipped += be.EnumStats.CandidatesSkipped
 		est.PredictedMemoryBytes += memoryLowerBound(be)
+		est.MeasuredPeakBytes += be.MeasuredBytes
 		// Export the block's output cardinality (simple mode) to the
 		// derived refs in later blocks, as the real optimizer does with its
 		// full-mode estimate.
@@ -133,6 +151,7 @@ func EstimatePlans(blk *query.Block, opts Options) (*Estimate, error) {
 	if m := opts.model(); m != nil {
 		est.PredictedTime = m.Predict(est.Counts)
 	}
+	est.PredictedPeakBytes = EstimateMemory(est, opts.memModel())
 	return est, nil
 }
 
@@ -146,6 +165,21 @@ func (o Options) model() *TimeModel {
 		return o.Models.CurrentModel()
 	}
 	return nil
+}
+
+// memModel resolves the effective memory model: an explicit MemModel wins,
+// then a registry provider that versions memory models, then the structural
+// default (per-structure footprints, no calibration).
+func (o Options) memModel() *MemModel {
+	if o.MemModel != nil {
+		return o.MemModel
+	}
+	if p, ok := o.Models.(MemModelProvider); ok {
+		if m := p.CurrentMemModel(); m != nil {
+			return m
+		}
+	}
+	return DefaultMemModel()
 }
 
 // EstimatePlansCtx is EstimatePlans bounded by a context: when ctx expires
@@ -171,6 +205,10 @@ func estimateBlock(blk *query.Block, cfg *cost.Config, opts Options) (*BlockEsti
 	sc := props.NewScope(blk)
 	mem := memoPool.Get().(*memo.Memo)
 	mem.Reset(blk.NumTables())
+	// Attach after Reset (which detaches and zeroes the previous run's
+	// accounting) so pooled reuse never carries stale charges forward. A nil
+	// Exec still keeps the memo-local tally, so MeasuredBytes costs nothing.
+	mem.SetAccountant(opts.Exec.Resources())
 	defer memoPool.Put(mem)
 	cnt := newCounter(blk, sc, cfg.Nodes, opts.OrderPolicy, opts.ListMode, opts.PropagateEveryJoin)
 
@@ -195,12 +233,28 @@ func estimateBlock(blk *query.Block, cfg *cost.Config, opts Options) (*BlockEsti
 		}
 	}
 
+	// Durable property values are charged once per block: the counter only
+	// ever grows the lists (nothing releases mid-block), so the end-of-block
+	// charge reaches the same durable high-water mark as per-add charging
+	// would, without touching the accountant on the per-join hot path.
+	pb := cnt.propertyBytes(mem)
+	mem.ChargeProperties(pb / memo.PropertyValueBytes)
+	// The counter's per-join scratch is working memory, not MEMO content:
+	// charge its high-water capacity and release it, so the run's total peak
+	// sees it but blocks don't accumulate freed buffers.
+	if acct := opts.Exec.Resources(); acct != nil {
+		sb := cnt.scratchBytes()
+		acct.Charge(resource.KindScratch, sb)
+		acct.Release(resource.KindScratch, sb)
+	}
+
 	return &BlockEstimate{
 		Block:         blk,
 		Counts:        cnt.counts,
 		EnumStats:     st,
 		Entries:       mem.NumEntries(),
-		PropertyBytes: cnt.propertyBytes(mem),
+		PropertyBytes: pb,
+		MeasuredBytes: mem.AccountedBytes(),
 	}, outCard, nil
 }
 

@@ -36,6 +36,18 @@ type MOPDecision struct {
 	// prediction by more than the budget factor — the graceful-degradation
 	// path when the time model is wrong.
 	AbortedLevels []opt.Level
+	// HighPredictedPeakBytes is the memory model's predicted peak for the
+	// high level — the number the memory admission check gates on.
+	HighPredictedPeakBytes int64
+	// MemSkippedLevels lists the levels never started because their
+	// predicted peak memory already exceeded MemBudget; MemAbortedLevels
+	// lists the levels started and then aborted because measured usage
+	// crossed the budget (the memory analogue of AbortedLevels).
+	MemSkippedLevels []opt.Level
+	MemAbortedLevels []opt.Level
+	// FinalPeakBytes is the measured durable memory high-water mark of the
+	// compilation whose plan was returned (zero for the unaccounted paths).
+	FinalPeakBytes int64
 }
 
 // MOP is the simple meta-optimizer of Figure 1: compile at the low level,
@@ -79,6 +91,13 @@ type MOP struct {
 	// next-lower level (down to the greedy floor). Zero disables the abort —
 	// the prediction is trusted unconditionally, the pre-budget behaviour.
 	BudgetFactor float64
+	// MemBudget, when positive, bounds each recompilation rung's optimizer
+	// memory in bytes — twice over: a rung whose predicted peak already
+	// exceeds the budget is skipped without compiling (admission on the
+	// prediction), and a started rung aborts when its measured usage
+	// crosses the budget (enforcement on the measurement). Either way the
+	// ladder drops to the next-lower level. Zero disables both.
+	MemBudget int64
 }
 
 // Run executes the meta-optimization loop on a query and returns the chosen
@@ -121,20 +140,22 @@ func (m *MOP) RunCtx(ctx context.Context, blk *query.Block) (*opt.Result, *MOPDe
 	// The low-level compile carries no prediction (nothing priced it), but
 	// its counts and time still train the calibrator — and decorrelate the
 	// regression from the high-level observations.
-	m.observe(blk, opt.LevelLow, 0, low)
+	m.observe(blk, opt.LevelLow, 0, nil, low)
 	dec := &MOPDecision{
 		LowPlanExecCost: time.Duration(low.Plan.Cost * execTinst * float64(time.Second)),
 		FinalLevel:      opt.LevelLow,
 		FinalPlanCost:   time.Duration(low.Plan.Cost * execTinst * float64(time.Second)),
 	}
 
-	est, err := EstimatePlansCtx(ctx, blk, Options{Level: high, Config: m.Config, Model: model})
+	est, err := EstimatePlansCtx(ctx, blk, Options{Level: high, Config: m.Config, Model: model, Models: m.Models})
 	if err != nil {
 		return nil, nil, err
 	}
 	dec.HighCompileEstimate = est.PredictedTime
+	dec.HighPredictedPeakBytes = est.PredictedPeakBytes
 
 	result := low
+	dec.FinalPeakBytes = low.Resources.DurablePeakBytes
 	if float64(dec.HighCompileEstimate) < threshold*float64(dec.LowPlanExecCost) {
 		res, level, err := m.recompile(ctx, blk, high, model, est, dec)
 		if err != nil {
@@ -144,6 +165,7 @@ func (m *MOP) RunCtx(ctx context.Context, blk *query.Block) (*opt.Result, *MOPDe
 			dec.Recompiled = true
 			dec.FinalLevel = level
 			dec.FinalPlanCost = time.Duration(res.Plan.Cost * execTinst * float64(time.Second))
+			dec.FinalPeakBytes = res.Resources.DurablePeakBytes
 			result = res
 		}
 	}
@@ -152,21 +174,29 @@ func (m *MOP) RunCtx(ctx context.Context, blk *query.Block) (*opt.Result, *MOPDe
 }
 
 // recompile walks the level ladder downward from high, running each level
-// under a plan budget of BudgetFactor times its COTE prediction. A budget
-// overrun records the aborted level and drops to the next-lower one
-// (re-estimating its plan count); when every DP level aborts, recompile
-// returns nil and the caller keeps the greedy plan. Context errors
-// propagate — a deadline ends the whole loop, not one rung.
+// under a plan budget of BudgetFactor times its COTE prediction and — when
+// MemBudget is set — under the memory budget, skipping rungs whose predicted
+// peak already exceeds it. A budget overrun (plans or bytes) records the
+// aborted level and drops to the next-lower one (re-estimating its plan
+// count); when every DP level aborts, recompile returns nil and the caller
+// keeps the greedy plan. Context errors propagate — a deadline ends the
+// whole loop, not one rung.
 func (m *MOP) recompile(ctx context.Context, blk *query.Block, high opt.Level, model *TimeModel, est *Estimate, dec *MOPDecision) (*opt.Result, opt.Level, error) {
 	for level := high; level != opt.LevelLow; level = level.NextLower() {
 		if level != high {
 			// Dropping a rung changes the search space, so the budget's
 			// baseline must be re-predicted for the new level.
 			var err error
-			est, err = EstimatePlansCtx(ctx, blk, Options{Level: level, Config: m.Config, Model: model})
+			est, err = EstimatePlansCtx(ctx, blk, Options{Level: level, Config: m.Config, Model: model, Models: m.Models})
 			if err != nil {
 				return nil, 0, err
 			}
+		}
+		if m.MemBudget > 0 && est.PredictedPeakBytes > m.MemBudget {
+			// Admission on the prediction: don't start a compile the model
+			// already expects to blow the budget.
+			dec.MemSkippedLevels = append(dec.MemSkippedLevels, level)
+			continue
 		}
 		oc := optctx.New(ctx)
 		if m.BudgetFactor > 0 {
@@ -174,25 +204,40 @@ func (m *MOP) recompile(ctx context.Context, blk *query.Block, high opt.Level, m
 			oc.SetPredictedPlans(total)
 			oc.SetPlanBudget(int64(m.BudgetFactor * float64(total)))
 		}
+		oc.SetMemBudget(m.MemBudget)
 		res, err := opt.OptimizeWith(oc, blk, opt.Options{Level: level, Config: m.Config, Parallelism: m.Parallelism})
 		if err == nil {
 			// One prediction, one measurement: the pair the drift detector
 			// scores the model on.
-			m.observe(blk, level, est.PredictedTime, res)
+			m.observe(blk, level, est.PredictedTime, est, res)
 			return res, level, nil
 		}
-		if !errors.Is(err, optctx.ErrBudgetExceeded) {
+		switch {
+		case errors.Is(err, optctx.ErrBudgetExceeded):
+			dec.AbortedLevels = append(dec.AbortedLevels, level)
+		case errors.Is(err, optctx.ErrMemBudgetExceeded):
+			dec.MemAbortedLevels = append(dec.MemAbortedLevels, level)
+		default:
 			return nil, 0, err
 		}
-		dec.AbortedLevels = append(dec.AbortedLevels, level)
 	}
 	return nil, 0, nil
 }
 
-// observe forwards one real compilation to the observer, if any.
-func (m *MOP) observe(blk *query.Block, level opt.Level, predicted time.Duration, res *opt.Result) {
+// observe forwards one real compilation to the observer, if any. est, when
+// non-nil, supplies the estimate-side regressors that make the observation
+// usable for memory-model calibration alongside the time model's counts.
+func (m *MOP) observe(blk *query.Block, level opt.Level, predicted time.Duration, est *Estimate, res *opt.Result) {
 	if m.Observer == nil {
 		return
 	}
-	m.Observer.ObserveCompile(ObservationFrom(res.TotalCounters(), level, fingerprint.Of(blk), predicted, res.Elapsed))
+	o := ObservationFrom(res.TotalCounters(), level, fingerprint.Of(blk), predicted, res.Elapsed)
+	o.PeakBytes = res.Resources.DurablePeakBytes
+	if est != nil {
+		for _, be := range est.Blocks {
+			o.Entries += be.Entries
+			o.PropertyBytes += be.PropertyBytes
+		}
+	}
+	m.Observer.ObserveCompile(o)
 }

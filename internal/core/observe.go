@@ -23,6 +23,14 @@ type CompileObservation struct {
 	Predicted   time.Duration
 	Actual      time.Duration
 	GenSeconds  [props.NumJoinMethods]float64
+	// PeakBytes is the measured durable memory high-water mark of the
+	// compilation (zero when no run accountant was attached); Entries and
+	// PropertyBytes carry the estimate-side regressors that pair with it,
+	// so the same observation stream that refits the time model can refit
+	// the memory model.
+	PeakBytes     int64
+	Entries       int
+	PropertyBytes int
 }
 
 // ObservationFrom builds an observation from one real optimization's
@@ -44,6 +52,21 @@ func (o CompileObservation) TrainingPoint() TrainingPoint {
 	return TrainingPoint{Counts: o.Counts, Actual: o.Actual, GenSeconds: o.GenSeconds}
 }
 
+// MemPoint converts the observation to the form CalibrateMemory consumes,
+// and ok reports whether it carries a usable memory measurement (a peak was
+// recorded and the estimate-side regressors are present).
+func (o CompileObservation) MemPoint() (MemPoint, bool) {
+	if o.PeakBytes <= 0 || o.Entries <= 0 {
+		return MemPoint{}, false
+	}
+	return MemPoint{
+		Entries:       o.Entries,
+		Plans:         o.Counts.Total(),
+		PropertyBytes: o.PropertyBytes,
+		PeakBytes:     o.PeakBytes,
+	}, true
+}
+
 // CompileObserver receives one record per completed real compilation. The
 // optimizer layers call it synchronously, so implementations must be cheap
 // and goroutine-safe (internal/calib's Calibrator is the canonical one).
@@ -57,4 +80,12 @@ type CompileObserver interface {
 // swap mid-stream is picked up by the next run without any re-wiring.
 type ModelProvider interface {
 	CurrentModel() *TimeModel
+}
+
+// MemModelProvider is the optional memory-model side of a ModelProvider: a
+// registry that also versions memory models implements it, and the layers
+// discover it by type assertion so providers that predate memory estimation
+// keep working unchanged.
+type MemModelProvider interface {
+	CurrentMemModel() *MemModel
 }

@@ -11,6 +11,8 @@
 package core
 
 import (
+	"unsafe"
+
 	"cote/internal/bitset"
 	"cote/internal/enum"
 	"cote/internal/memo"
@@ -394,6 +396,22 @@ func (c *counter) countCompound(outer, result *memo.Entry, candParts []props.Par
 			c.counts.ByMethod[props.HSJN]++
 		}
 	}
+}
+
+// Scratch element sizes for the run accountant's working-memory class.
+// Vars, not consts: unsafe.Sizeof over *new(T) is not a constant expression.
+var (
+	counterColIDBytes = int64(unsafe.Sizeof(*new(query.ColID)))
+	counterOrderBytes = int64(unsafe.Sizeof(props.Order{}))
+)
+
+// scratchBytes reports the capacity the counter's per-join scratch buffers
+// grew to over the block — the working-memory high-water estimateBlock
+// charges (and releases) against the run accountant's scratch class. The
+// property lists themselves are durable MEMO content and charged separately.
+func (c *counter) scratchBytes() int64 {
+	cols := cap(c.ocBuf) + cap(c.icBuf) + cap(c.jcBuf)
+	return int64(cols)*counterColIDBytes + int64(cap(c.outsBuf))*counterOrderBytes
 }
 
 // propertyBytes reports the memory footprint of the maintained property

@@ -120,6 +120,9 @@ func (e *Estimate) String() string {
 	if e.PredictedMemoryBytes > 0 {
 		fmt.Fprintf(&b, " | predicted memory >= %d B", e.PredictedMemoryBytes)
 	}
+	if e.PredictedPeakBytes > 0 {
+		fmt.Fprintf(&b, " | predicted peak %d B (measured %d B)", e.PredictedPeakBytes, e.MeasuredPeakBytes)
+	}
 	return b.String()
 }
 
@@ -133,6 +136,8 @@ type estimateJSON struct {
 	ElapsedNS            int64      `json:"elapsed_ns"`
 	PredictedTimeNS      int64      `json:"predicted_time_ns,omitempty"`
 	PredictedMemoryBytes int64      `json:"predicted_memory_bytes"`
+	PredictedBytes       int64      `json:"predicted_bytes,omitempty"`
+	PeakBytes            int64      `json:"peak_bytes,omitempty"`
 }
 
 // MarshalJSON renders the estimate for service responses: plan counts,
@@ -148,5 +153,7 @@ func (e *Estimate) MarshalJSON() ([]byte, error) {
 		ElapsedNS:            e.Elapsed.Nanoseconds(),
 		PredictedTimeNS:      e.PredictedTime.Nanoseconds(),
 		PredictedMemoryBytes: e.PredictedMemoryBytes,
+		PredictedBytes:       e.PredictedPeakBytes,
+		PeakBytes:            e.MeasuredPeakBytes,
 	})
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -402,6 +403,87 @@ func MemoryEstimates(w *workload.Workload) ([]MemoryRow, error) {
 			ActualPlans:    plans,
 			ActualBytes:    int64(plans) * bytesPerPlan,
 		})
+	}
+	return out, nil
+}
+
+// --- Resource accounting: calibrated memory model evaluation ---
+
+// MemFigRow compares the memory model's predicted peak bytes with the
+// measured durable high-water of the corresponding real compilation.
+type MemFigRow struct {
+	Workload  string
+	Query     string
+	Level     opt.Level
+	Predicted int64
+	Measured  int64
+}
+
+// Ratio returns predicted/measured (0 when nothing was measured).
+func (r MemFigRow) Ratio() float64 {
+	if r.Measured == 0 {
+		return 0
+	}
+	return float64(r.Predicted) / float64(r.Measured)
+}
+
+// memPointAt compiles one query at one level under a resource accountant and
+// pairs the estimator's structural counts with the measured durable peak.
+func memPointAt(q workload.Query, cfg *cost.Config, level opt.Level) (*core.Estimate, int64, error) {
+	est, err := core.EstimatePlans(q.Block, core.Options{Level: level, Config: cfg})
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", q.Name, err)
+	}
+	res, err := opt.OptimizeCtx(context.Background(), q.Block, opt.Options{Level: level, Config: cfg})
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", q.Name, err)
+	}
+	return est, res.Resources.DurablePeakBytes, nil
+}
+
+// MemCalibrationPass runs one memory-calibration pass: it compiles every
+// query of every workload at every level under a resource accountant, pairs
+// each estimate's structural counts with the measured durable peak, and fits
+// a memory model on the pooled points — the memory-side analogue of fitting
+// the Ct constants.
+func MemCalibrationPass(workloads []*workload.Workload, levels []opt.Level) (*core.MemModel, error) {
+	var points []core.MemPoint
+	for _, w := range workloads {
+		cfg := ConfigFor(w)
+		for _, q := range w.Queries {
+			for _, level := range levels {
+				est, peak, err := memPointAt(q, cfg, level)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", w.Name, err)
+				}
+				points = append(points, core.MemPointFrom(est, peak))
+			}
+		}
+	}
+	return core.CalibrateMemory(points)
+}
+
+// MemFig evaluates a memory model on a workload: per query and level, the
+// predicted peak bytes under the model against the measured durable peak of
+// a real compilation. A nil model selects the uncalibrated structural
+// default.
+func MemFig(w *workload.Workload, levels []opt.Level, m *core.MemModel) ([]MemFigRow, error) {
+	cfg := ConfigFor(w)
+	var out []MemFigRow
+	for _, q := range w.Queries {
+		for _, level := range levels {
+			est, peak, err := memPointAt(q, cfg, level)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", w.Name, err)
+			}
+			out = append(out, MemFigRow{
+				Workload:  w.Name,
+				Query:     q.Name,
+				Level:     level,
+				Predicted: core.EstimateMemory(est, m),
+				Measured:  peak,
+			})
+		}
 	}
 	return out, nil
 }

@@ -196,3 +196,37 @@ func TestStatementCacheExtension(t *testing.T) {
 		t.Fatalf("replay hit %d of %d", row.ReplayHit, row.Queries)
 	}
 }
+
+// TestMemFigWithinTwofold is the acceptance bar of the resource-accounting
+// layer: after one calibration pass on the synthetic workloads, the memory
+// model's predicted peak is within 2x (either direction) of the measured
+// durable high-water on every query of every evaluation workload at every DP
+// level. Both sides are deterministic — structural counts and canonical-point
+// charges — so the bound is exact, not statistical.
+func TestMemFigWithinTwofold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full calibration + evaluation sweep skipped in -short")
+	}
+	levels := []opt.Level{opt.LevelMediumLeftDeep, opt.LevelMediumZigZag, opt.LevelHighInner2}
+	model, err := MemCalibrationPass(
+		[]*workload.Workload{workload.Linear(1), workload.Star(1), workload.Random(42, 12, 10, 1)}, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []*workload.Workload{workload.Real1(1), workload.Real2(1), workload.TPCH(1)} {
+		rows, err := MemFig(w, levels, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Measured <= 0 || r.Predicted <= 0 {
+				t.Fatalf("%s/%s %v: predicted %d, measured %d — both must be positive",
+					r.Workload, r.Query, r.Level, r.Predicted, r.Measured)
+			}
+			if ratio := r.Ratio(); ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("%s/%s %v: predicted %d B vs measured %d B (%.2fx) — outside the 2x acceptance band",
+					r.Workload, r.Query, r.Level, r.Predicted, r.Measured, ratio)
+			}
+		}
+	}
+}

@@ -14,10 +14,36 @@ package memo
 import (
 	"fmt"
 	"sort"
+	"unsafe"
 
 	"cote/internal/bitset"
 	"cote/internal/props"
 	"cote/internal/query"
+	"cote/internal/resource"
+)
+
+// Per-structure footprints, the fixed byte sizes the resource accountant
+// charges for logical MEMO content. Charging struct sizes plus a small
+// constant index overhead (map slot, size-class slot, posting ordinals)
+// instead of allocator-reported bytes keeps the measured durable high-water
+// mark deterministic across pool states and parallelism degrees — the
+// property core.EstimateMemory and its calibration depend on.
+const (
+	// entryIndexBytes approximates an entry's share of the index
+	// bookkeeping: its map key+pointer slot and its size-class slot.
+	entryIndexBytes = 40
+	// EntryFootprint is the bytes charged per MEMO entry (excluding the
+	// per-member posting ordinals, which scale with set size).
+	EntryFootprint = int64(unsafe.Sizeof(Entry{})) + entryIndexBytes
+	// PlanFootprint is the bytes charged per retained plan: the node itself
+	// plus its pointer slot in the entry's plan list.
+	PlanFootprint = int64(unsafe.Sizeof(Plan{})) + 8
+	// PropertyValueBytes is the paper's ~4 bytes per interesting-property
+	// value (Section 3.4), also used by PropertyListBytes.
+	PropertyValueBytes = 4
+	// postingOrdBytes is the bytes charged per posting-index ordinal (one
+	// int32 per member table of a created entry).
+	postingOrdBytes = 4
 )
 
 // Operator identifies the physical operator at the root of a plan.
@@ -171,6 +197,12 @@ type Memo struct {
 	// 0..n, i.e. n+1 per table.
 	nsize  int
 	nplans int
+	// acct receives the durable charges (entries, retained plans, property
+	// values) when the optimizer attaches a run accountant; accounted is the
+	// memo-local net tally of those charges, zeroed by Reset so pooled reuse
+	// never leaks one run's accounting state into the next.
+	acct      *resource.Accountant
+	accounted int64
 	// PipelineMatters makes pipelineability a pruning-relevant property:
 	// a non-pipelined plan can no longer dominate a pipelined one. Set by
 	// the optimizer for FETCH FIRST queries.
@@ -191,6 +223,33 @@ func New(n int) *Memo {
 	}
 }
 
+// SetAccountant attaches a run accountant; subsequent entry creations, plan
+// inserts/prunes and property charges are recorded against it. A nil
+// accountant (the default, and after Reset) makes every charge a no-op.
+func (m *Memo) SetAccountant(a *resource.Accountant) { m.acct = a }
+
+// AccountedBytes returns the memo's net charged durable bytes — the
+// memo-local accounting state Reset must zero on pooled reuse.
+func (m *Memo) AccountedBytes() int64 { return m.accounted }
+
+// charge records n durable bytes of kind k against the attached accountant
+// and the memo-local tally. Callers pass negative n to release.
+func (m *Memo) charge(k resource.Kind, n int64) {
+	m.accounted += n
+	m.acct.Charge(k, n)
+}
+
+// ChargeProperties records n interesting-property values entering the MEMO
+// (the counter and generator call it where they extend an entry's
+// order/partition lists, the deterministic sites of Section 3.4's ~4 bytes
+// per value). Negative n releases.
+func (m *Memo) ChargeProperties(n int) {
+	if n == 0 {
+		return
+	}
+	m.charge(resource.KindProperty, int64(n)*PropertyValueBytes)
+}
+
 // GetOrCreate returns the entry for s, creating it if needed; created
 // reports whether this call created it.
 func (m *Memo) GetOrCreate(s bitset.Set) (e *Entry, created bool) {
@@ -205,6 +264,7 @@ func (m *Memo) GetOrCreate(s bitset.Set) (e *Entry, created bool) {
 		i := t*m.nsize + k
 		m.posting[i] = append(m.posting[i], e.SizeOrd)
 	})
+	m.charge(resource.KindMemoEntry, EntryFootprint+int64(k)*postingOrdBytes)
 	m.sorted = nil // invalidate the Entries() snapshot
 	return e, true
 }
@@ -250,6 +310,10 @@ func (m *Memo) Reset(n int) {
 	m.nplans = 0
 	m.PipelineMatters = false
 	m.ExpMatters = false
+	// Detach the accountant and zero the accounting tally: a pooled MEMO
+	// must not carry one run's charges (or its accountant) into the next.
+	m.acct = nil
+	m.accounted = 0
 }
 
 // Entry returns the entry for s, or nil.
@@ -340,12 +404,14 @@ func (m *Memo) InsertPlan(e *Entry, p *Plan) bool {
 	for _, have := range e.Plans {
 		if dominates(p, have, e.Equiv, m) {
 			m.nplans--
+			m.charge(resource.KindPlan, -PlanFootprint)
 			continue
 		}
 		kept = append(kept, have)
 	}
 	e.Plans = append(kept, p)
 	m.nplans++
+	m.charge(resource.KindPlan, PlanFootprint)
 	return true
 }
 
@@ -397,10 +463,9 @@ func (e *Entry) BestWithPartition(part props.Partition, eq *query.Equiv) *Plan {
 // all entries occupy, assuming the paper's ~4 bytes per property value. The
 // estimator's memory-consumption extension (Section 6.2) builds on this.
 func (m *Memo) PropertyListBytes() int {
-	const bytesPerProperty = 4
 	total := 0
 	for _, e := range m.entries {
-		total += (e.Orders.Len() + e.Parts.Len()) * bytesPerProperty
+		total += (e.Orders.Len() + e.Parts.Len()) * PropertyValueBytes
 	}
 	return total
 }

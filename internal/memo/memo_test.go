@@ -8,6 +8,7 @@ import (
 	"cote/internal/catalog"
 	"cote/internal/props"
 	"cote/internal/query"
+	"cote/internal/resource"
 )
 
 // blockFixture builds a two-table block for equivalence-aware tests.
@@ -435,5 +436,53 @@ func TestReset(t *testing.T) {
 		if got := m.OfSize(1); len(got) != 1 || got[0].Tables != all {
 			t.Fatalf("Reset(%d) size buckets broken: %v", n, got)
 		}
+	}
+}
+
+// TestResetZeroesAccounting is the accounting analogue of the stale-postings
+// rule: a pooled MEMO must not carry one run's accountant or charge tally
+// into the next borrower. Reset must detach the accountant, zero the local
+// tally, and leave the old run's accountant untouched by later activity.
+func TestResetZeroesAccounting(t *testing.T) {
+	blk := blockFixture(t)
+	acct := resource.New()
+	m := New(2)
+	m.SetAccountant(acct)
+
+	e := entryFor(blk, m, bitset.Of(0))
+	m.InsertPlan(e, &Plan{Op: OpTableScan, Tables: e.Tables, Cost: 100})
+	m.ChargeProperties(3)
+
+	wantLocal := EntryFootprint + int64(1)*4 /* one posting ordinal */ +
+		PlanFootprint + 3*PropertyValueBytes
+	if got := m.AccountedBytes(); got != wantLocal {
+		t.Fatalf("AccountedBytes = %d, want %d", got, wantLocal)
+	}
+	if got := acct.DurableUsed(); got != wantLocal {
+		t.Fatalf("accountant DurableUsed = %d, want %d", got, wantLocal)
+	}
+
+	frozen := acct.DurableUsed()
+	m.Reset(2)
+	if got := m.AccountedBytes(); got != 0 {
+		t.Fatalf("AccountedBytes after Reset = %d, want 0 — pooled reuse would inherit stale charges", got)
+	}
+	// Post-Reset activity must not reach the previous run's accountant.
+	entryFor(blk, m, bitset.Of(1))
+	m.ChargeProperties(5)
+	if got := acct.DurableUsed(); got != frozen {
+		t.Fatalf("detached accountant moved %d -> %d after Reset", frozen, got)
+	}
+	// The memo-local tally still works without an accountant (the estimate
+	// path relies on it), and re-attaching starts a clean run.
+	if got := m.AccountedBytes(); got <= 0 {
+		t.Fatalf("AccountedBytes after detached activity = %d, want > 0", got)
+	}
+	acct2 := resource.New()
+	m.Reset(2)
+	m.SetAccountant(acct2)
+	entryFor(blk, m, bitset.Of(0))
+	if got, local := acct2.DurableUsed(), m.AccountedBytes(); got != local || got <= 0 {
+		t.Fatalf("fresh accountant got %d, local tally %d", got, local)
 	}
 }

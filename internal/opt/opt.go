@@ -16,11 +16,13 @@ import (
 	"cote/internal/cost"
 	"cote/internal/enum"
 	"cote/internal/greedy"
+	"cote/internal/knobs"
 	"cote/internal/memo"
 	"cote/internal/optctx"
 	"cote/internal/plangen"
 	"cote/internal/props"
 	"cote/internal/query"
+	"cote/internal/resource"
 )
 
 // Level is an optimization level. Higher levels search larger spaces and
@@ -139,14 +141,6 @@ type Options struct {
 	Parallelism int
 }
 
-// effectiveParallelism floors the knob at 1 (serial).
-func (o Options) effectiveParallelism() int {
-	if o.Parallelism < 1 {
-		return 1
-	}
-	return o.Parallelism
-}
-
 // BlockResult is the outcome of optimizing one query block.
 type BlockResult struct {
 	Block     *query.Block
@@ -166,6 +160,10 @@ type Result struct {
 	Blocks []*BlockResult
 	// Elapsed is the total compilation wall time.
 	Elapsed time.Duration
+	// Resources is the run's measured memory accounting (all zero when the
+	// compile ran without an execution context). DurablePeakBytes is the
+	// deterministic MEMO high-water mark core.EstimateMemory predicts.
+	Resources resource.Snapshot
 }
 
 // TotalCounters sums the plan-generation counters over all blocks.
@@ -259,6 +257,7 @@ func OptimizeWith(oc *optctx.Ctx, blk *query.Block, opts Options) (*Result, erro
 	root := res.Blocks[len(res.Blocks)-1]
 	res.Plan = finish(root.Block, root.Plan, root.Memo, opts)
 	res.Elapsed = time.Since(start)
+	res.Resources = oc.Resources().Snapshot()
 	return res, nil
 }
 
@@ -304,10 +303,8 @@ func propagateDerivedCard(root, child *query.Block, card float64) {
 // optimizeBlock compiles one block.
 func optimizeBlock(oc *optctx.Ctx, blk *query.Block, opts Options) (*BlockResult, error) {
 	t0 := time.Now()
-	cfg := opts.Config
-	if cfg == nil {
-		cfg = cost.Serial
-	}
+	kn := knobs.MustResolve(knobs.Set{Config: opts.Config, Parallelism: opts.Parallelism})
+	cfg := kn.Config
 	card := cost.NewEstimator(blk, cost.Full)
 
 	if opts.Level == LevelLow {
@@ -323,6 +320,7 @@ func optimizeBlock(oc *optctx.Ctx, blk *query.Block, opts Options) (*BlockResult
 
 	sc := props.NewScope(blk)
 	mem := memo.New(blk.NumTables())
+	mem.SetAccountant(oc.Resources())
 	mem.PipelineMatters = sc.PipelineInteresting()
 	mem.ExpMatters = !sc.ExpensiveTables().Empty()
 	popts := plangen.Options{Config: cfg, OrderPolicy: opts.OrderPolicy, Exec: oc}
@@ -341,7 +339,7 @@ func optimizeBlock(oc *optctx.Ctx, blk *query.Block, opts Options) (*BlockResult
 	en := enum.New(blk, mem, card, eopts)
 	var st enum.Stats
 	var err error
-	if workers := opts.effectiveParallelism(); workers > 1 {
+	if workers := kn.Parallelism; workers > 1 {
 		sc.MarkShared()
 		hooks, finishGen := gen.ParallelHooks()
 		st, err = en.RunParallel(hooks, workers)
@@ -372,10 +370,7 @@ func optimizeBlock(oc *optctx.Ctx, blk *query.Block, opts Options) (*BlockResult
 // delivers the ORDER BY order, and the aggregation operator for GROUP BY,
 // choosing the streaming variant when the input is suitably ordered.
 func finish(blk *query.Block, best *memo.Plan, mem *memo.Memo, opts Options) *memo.Plan {
-	cfg := opts.Config
-	if cfg == nil {
-		cfg = cost.Serial
-	}
+	cfg := knobs.CostConfig(opts.Config)
 	plan := best
 	root := mem.Entry(blk.AllTables())
 	eq := blk.EquivWithin(blk.AllTables())

@@ -1,7 +1,7 @@
 // Package optctx is the per-optimization execution context threaded through
 // every layer of the stack: the optimizer facade, the join enumerator, the
 // plan generator and the estimation service all share one *Ctx per
-// compilation. It carries four concerns:
+// compilation. It carries five concerns:
 //
 //   - cancellation: a context.Context whose expiry the enumerator observes
 //     at size-class (serial) and task (parallel) granularity, so a deadline
@@ -16,7 +16,11 @@
 //     progress-estimation application turned into a live meter;
 //   - per-stage observability: parse / enumerate / generate / prune counts
 //     and timings, accumulated per compilation and aggregated by the
-//     service's /metrics endpoint.
+//     service's /metrics endpoint;
+//   - resource accounting: an embedded resource.Accountant every allocation
+//     site on the optimize/estimate paths charges, with an optional byte
+//     budget whose overrun aborts the compile with ErrMemBudgetExceeded,
+//     mirroring the plan budget on the memory axis (paper Section 6.2).
 //
 // A nil *Ctx is valid everywhere and means "no deadline, no budget, no
 // observers": the hot paths pay a single nil check, so the serial
@@ -28,12 +32,19 @@ import (
 	"errors"
 	"sync/atomic"
 	"time"
+
+	"cote/internal/resource"
 )
 
 // ErrBudgetExceeded reports that a compilation generated more plans than
 // its budget allowed. Callers distinguish it from context errors to drive
 // the abort-and-downgrade loop (re-optimize at the next-cheaper level).
 var ErrBudgetExceeded = errors.New("optctx: generated-plan budget exceeded")
+
+// ErrMemBudgetExceeded reports that a compilation's measured memory usage
+// crossed its byte budget. Like ErrBudgetExceeded it drives the
+// abort-and-downgrade ladder, but on the memory axis.
+var ErrMemBudgetExceeded = errors.New("optctx: memory budget exceeded")
 
 // Stage identifies one phase of a compilation for observability.
 type Stage int
@@ -101,6 +112,13 @@ type Ctx struct {
 	budget     atomic.Int64 // abort bound on generated (0 = unlimited)
 	overBudget atomic.Bool
 
+	// res is the run's resource accountant, embedded by value so attaching
+	// accounting to a compilation costs no extra allocation. memBudget arms
+	// the cooperative memory abort, mirroring the generated-plan budget.
+	res       resource.Accountant
+	memBudget atomic.Int64 // abort bound on measured bytes (0 = unlimited)
+	overMem   atomic.Bool
+
 	stageCount [NumStages]atomic.Int64
 	stageNS    [NumStages]atomic.Int64
 }
@@ -130,14 +148,18 @@ func (c *Ctx) Context() context.Context {
 	return c.ctx
 }
 
-// Cancelled reports whether work should stop: the context expired or the
-// plan budget was exceeded. It is the cheap poll the enumerator issues at
-// its cancellation points; a nil receiver is never cancelled.
+// Cancelled reports whether work should stop: the context expired, the
+// plan budget was exceeded, or measured memory crossed its budget. It is
+// the cheap poll the enumerator issues at its cancellation points; a nil
+// receiver is never cancelled.
 func (c *Ctx) Cancelled() bool {
 	if c == nil {
 		return false
 	}
 	if c.overBudget.Load() {
+		return true
+	}
+	if c.memExceeded() {
 		return true
 	}
 	select {
@@ -148,8 +170,22 @@ func (c *Ctx) Cancelled() bool {
 	}
 }
 
-// Err returns why the compilation stopped: ErrBudgetExceeded, the
-// context's error, or nil when still live (always nil for a nil receiver).
+// memExceeded polls measured usage against the memory budget, latching
+// overMem so Err stays ErrMemBudgetExceeded even if usage later drops.
+func (c *Ctx) memExceeded() bool {
+	if c.overMem.Load() {
+		return true
+	}
+	if b := c.memBudget.Load(); b > 0 && c.res.Used() > b {
+		c.overMem.Store(true)
+		return true
+	}
+	return false
+}
+
+// Err returns why the compilation stopped: ErrBudgetExceeded,
+// ErrMemBudgetExceeded, the context's error, or nil when still live
+// (always nil for a nil receiver).
 func (c *Ctx) Err() error {
 	if c == nil {
 		return nil
@@ -157,7 +193,32 @@ func (c *Ctx) Err() error {
 	if c.overBudget.Load() {
 		return ErrBudgetExceeded
 	}
+	if c.overMem.Load() {
+		return ErrMemBudgetExceeded
+	}
 	return c.ctx.Err()
+}
+
+// Resources returns the run's resource accountant (nil for a nil receiver,
+// so charge sites inherit the usual nil-safe no-op behavior).
+func (c *Ctx) Resources() *resource.Accountant {
+	if c == nil {
+		return nil
+	}
+	return &c.res
+}
+
+// SetMemBudget arms the memory abort: once the accountant's measured usage
+// exceeds n bytes, Cancelled reports true and Err returns
+// ErrMemBudgetExceeded. Values below 1 disarm the budget.
+func (c *Ctx) SetMemBudget(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 1 {
+		n = 0
+	}
+	c.memBudget.Store(n)
 }
 
 // SetPredictedPlans records the COTE-predicted total generated-plan count,

@@ -1,11 +1,19 @@
 package plangen
 
-import "cote/internal/memo"
+import (
+	"unsafe"
+
+	"cote/internal/memo"
+	"cote/internal/resource"
+)
 
 // arenaChunk is the number of Plans allocated per arena chunk. Plans are
 // ~128 bytes, so a chunk is a handful of pages — large enough to amortize
 // the allocator, small enough not to overshoot tiny queries badly.
 const arenaChunk = 256
+
+// planBytes is the accounting size of one arena Plan slot.
+const planBytes = int64(unsafe.Sizeof(memo.Plan{}))
 
 // planArena is a bump allocator with a free list for memo.Plan values,
 // owned by one Generator (and therefore by one goroutine). The real
@@ -20,10 +28,39 @@ const arenaChunk = 256
 // Chunks are referenced by the plans handed out, so the arena imposes no
 // lifetime rule beyond the plans' own: the chosen plan keeps its chunk(s)
 // alive through ordinary GC reachability.
+//
+// When a run accountant is attached, the arena charges chunk capacity as
+// KindScratch: capacity inherited from the pool is charged once at attach,
+// each new chunk once at creation, and free-list borrows are never charged
+// again — reused capacity is charged once, not per borrow. resetAccounting
+// zeroes this state before the scratch returns to the pool.
 type planArena struct {
 	cur  []memo.Plan
 	n    int
 	free []*memo.Plan
+
+	acct    *resource.Accountant
+	charged int64
+}
+
+// attach points the arena at the run accountant, charging capacity retained
+// from pooled reuse once up front.
+func (a *planArena) attach(acct *resource.Accountant) {
+	if acct == nil {
+		return
+	}
+	a.acct = acct
+	if n := int64(len(a.cur)) * planBytes; n > 0 {
+		a.charged += n
+		acct.Charge(resource.KindScratch, n)
+	}
+}
+
+// resetAccounting detaches the accountant and zeroes the charge tally, so a
+// pooled arena carries no accounting state into its next run.
+func (a *planArena) resetAccounting() {
+	a.acct = nil
+	a.charged = 0
 }
 
 // alloc returns a zeroed Plan.
@@ -37,6 +74,10 @@ func (a *planArena) alloc() *memo.Plan {
 	if a.n == len(a.cur) {
 		a.cur = make([]memo.Plan, arenaChunk)
 		a.n = 0
+		if a.acct != nil {
+			a.charged += arenaChunk * planBytes
+			a.acct.Charge(resource.KindScratch, arenaChunk*planBytes)
+		}
 	}
 	p := &a.cur[a.n]
 	a.n++

@@ -45,6 +45,11 @@ func (g *Generator) fork() *genWorker {
 		exec:     g.exec,
 		scratch:  scratchPool.Get().(*scratch),
 	}
+	// Workers charge scratch against the shared run accountant: atomics make
+	// it race-safe, and scratch is outside the determinism guarantee (the
+	// durable charges all happen on the driver's canonical commit replay).
+	w.g.arena.attach(g.exec.Resources())
+	w.g.chargeBufGrowth()
 	w.g.sink = func(result *memo.Entry, p *memo.Plan) {
 		w.results = append(w.results, result)
 		w.plans = append(w.plans, p)

@@ -16,13 +16,16 @@ package plangen
 import (
 	"sync"
 	"time"
+	"unsafe"
 
 	"cote/internal/cost"
 	"cote/internal/enum"
+	"cote/internal/knobs"
 	"cote/internal/memo"
 	"cote/internal/optctx"
 	"cote/internal/props"
 	"cote/internal/query"
+	"cote/internal/resource"
 )
 
 // Counters aggregates what one optimization run generated and where its
@@ -140,6 +143,36 @@ type scratch struct {
 	candPartsBuf  []props.Partition
 	completeParts props.PartitionList
 	completeOrds  props.OrderList
+
+	// bufCharged is the slice-buffer capacity already charged to the run
+	// accountant, so growth is charged as a delta and reused capacity is
+	// charged once. ReleaseScratch zeroes it with the arena's tally.
+	bufCharged int64
+}
+
+// Accounting sizes of the scratch element types.
+var (
+	colIDBytes = int64(unsafe.Sizeof(*new(query.ColID)))
+	orderBytes = int64(unsafe.Sizeof(props.Order{}))
+	partBytes  = int64(unsafe.Sizeof(props.Partition{}))
+)
+
+// chargeBufGrowth settles the scratch slice buffers' capacity against the
+// run accountant: only the growth over what this scratch already charged,
+// called when the scratch is attached (pool-retained capacity) and when it
+// is released (capacity grown during the run).
+func (s *scratch) chargeBufGrowth() {
+	if s.arena.acct == nil {
+		return
+	}
+	total := int64(cap(s.ocBuf)+cap(s.icBuf)+cap(s.jcBuf))*colIDBytes +
+		int64(cap(s.outsBuf)+cap(s.insBuf))*orderBytes +
+		int64(cap(s.candPartsBuf))*partBytes +
+		int64(cap(s.arena.free))*8
+	if total > s.bufCharged {
+		s.arena.acct.Charge(resource.KindScratch, total-s.bufCharged)
+		s.bufCharged = total
+	}
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -153,6 +186,12 @@ func (g *Generator) ReleaseScratch() {
 		return
 	}
 	g.scratch = nil
+	s.chargeBufGrowth()
+	// Zero the accounting state before pooling: the next borrower must start
+	// from a clean tally against its own accountant (regression-tested, like
+	// the stale-postings Reset rule in memo).
+	s.arena.resetAccounting()
+	s.bufCharged = 0
 	s.ocBuf, s.icBuf, s.jcBuf = s.ocBuf[:0], s.icBuf[:0], s.jcBuf[:0]
 	s.outsBuf, s.insBuf = s.outsBuf[:0], s.insBuf[:0]
 	s.candPartsBuf = s.candPartsBuf[:0]
@@ -163,11 +202,8 @@ func (g *Generator) ReleaseScratch() {
 // should be the full-mode one; the Generator shares it with the enumerator
 // so both see identical logical properties.
 func New(blk *query.Block, sc *props.Scope, mem *memo.Memo, card *cost.Estimator, opts Options) *Generator {
-	cfg := opts.Config
-	if cfg == nil {
-		cfg = cost.Serial
-	}
-	return &Generator{
+	cfg := knobs.CostConfig(opts.Config)
+	g := &Generator{
 		blk:      blk,
 		sc:       sc,
 		mem:      mem,
@@ -179,6 +215,9 @@ func New(blk *query.Block, sc *props.Scope, mem *memo.Memo, card *cost.Estimator
 		exec:     opts.Exec,
 		scratch:  scratchPool.Get().(*scratch),
 	}
+	g.arena.attach(opts.Exec.Resources())
+	g.chargeBufGrowth()
+	return g
 }
 
 // Hooks returns the enumerator callbacks that drive this generator.

@@ -1,6 +1,7 @@
 package plangen
 
 import (
+	"context"
 	"testing"
 
 	"cote/internal/bitset"
@@ -8,8 +9,10 @@ import (
 	"cote/internal/cost"
 	"cote/internal/enum"
 	"cote/internal/memo"
+	"cote/internal/optctx"
 	"cote/internal/props"
 	"cote/internal/query"
+	"cote/internal/resource"
 )
 
 // fixture builds a 3-table chain a-b-c with an ORDER BY, optionally
@@ -216,4 +219,64 @@ func TestSortWidthFactor(t *testing.T) {
 	if narrow != 1 {
 		t.Fatalf("single-column factor = %v, want 1", narrow)
 	}
+}
+
+// TestReleaseScratchZeroesAccounting is the plangen half of the pooled-reuse
+// accounting rule (the memo half is TestResetZeroesAccounting): ReleaseScratch
+// must settle outstanding buffer growth, detach the accountant, and zero both
+// charge tallies so the next borrower starts clean — and re-attaching already
+// charged capacity must charge it exactly once, never per borrow.
+func TestReleaseScratchZeroesAccounting(t *testing.T) {
+	oc := optctx.New(context.Background())
+	acct := oc.Resources()
+
+	cb := catalog.NewBuilder("acct")
+	cb.Table("a", 100_000).Column("x", 1_000)
+	cb.Table("b", 50_000).Column("x", 1_000)
+	cat := cb.Build()
+	qb := query.NewBuilder("acct", cat)
+	qb.AddTable("a", "")
+	qb.AddTable("b", "")
+	qb.JoinEq("a", "x", "b", "x")
+	blk := qb.MustBuild()
+
+	card := cost.NewEstimator(blk, cost.Full)
+	mem := memo.New(blk.NumTables())
+	gen := New(blk, props.NewScope(blk), mem, card, Options{Config: cost.Serial, Exec: oc})
+	if _, err := enum.New(blk, mem, card, enum.Options{}).Run(gen.Hooks()); err != nil {
+		t.Fatal(err)
+	}
+	if gen.scratch.arena.acct != acct {
+		t.Fatal("accountant not attached to the arena")
+	}
+	scratchUsed := acct.KindUsed(resource.KindScratch)
+	if scratchUsed <= 0 {
+		t.Fatalf("KindScratch used = %d, want > 0 (arena chunk + buffers)", scratchUsed)
+	}
+
+	s := gen.scratch
+	gen.ReleaseScratch()
+	if s.arena.acct != nil {
+		t.Fatal("ReleaseScratch kept the accountant attached — pooled reuse would charge a finished run")
+	}
+	if s.arena.charged != 0 || s.bufCharged != 0 {
+		t.Fatalf("ReleaseScratch left charge tallies arena=%d buf=%d, want 0 — next borrower would skip its own charges", s.arena.charged, s.bufCharged)
+	}
+
+	// Re-attach the same (now pooled-state) scratch to a fresh run: retained
+	// capacity is charged exactly once, and settling again charges nothing.
+	acct2 := resource.New()
+	s.arena.attach(acct2)
+	s.chargeBufGrowth()
+	once := acct2.KindUsed(resource.KindScratch)
+	if once <= 0 {
+		t.Fatalf("retained capacity charged %d on re-attach, want > 0", once)
+	}
+	s.chargeBufGrowth()
+	s.chargeBufGrowth()
+	if got := acct2.KindUsed(resource.KindScratch); got != once {
+		t.Fatalf("repeated settlement double-charged pooled buffers: %d -> %d", once, got)
+	}
+	s.arena.resetAccounting()
+	s.bufCharged = 0
 }

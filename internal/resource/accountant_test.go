@@ -1,0 +1,140 @@
+package resource
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestChargeReleasePeak(t *testing.T) {
+	a := New()
+	a.Charge(KindMemoEntry, 100)
+	a.Charge(KindPlan, 50)
+	if got := a.Used(); got != 150 {
+		t.Fatalf("Used = %d, want 150", got)
+	}
+	a.Release(KindPlan, 50)
+	if got := a.Used(); got != 100 {
+		t.Fatalf("Used after release = %d, want 100", got)
+	}
+	if got := a.Peak(); got != 150 {
+		t.Fatalf("Peak = %d, want 150", got)
+	}
+	if got := a.KindPeak(KindPlan); got != 50 {
+		t.Fatalf("KindPeak(plans) = %d, want 50", got)
+	}
+	if got := a.KindUsed(KindPlan); got != 0 {
+		t.Fatalf("KindUsed(plans) = %d, want 0", got)
+	}
+}
+
+func TestDurableExcludesScratch(t *testing.T) {
+	a := New()
+	a.Charge(KindMemoEntry, 10)
+	a.Charge(KindProperty, 4)
+	a.Charge(KindScratch, 1000)
+	if got := a.DurableUsed(); got != 14 {
+		t.Fatalf("DurableUsed = %d, want 14", got)
+	}
+	if got := a.DurablePeak(); got != 14 {
+		t.Fatalf("DurablePeak = %d, want 14", got)
+	}
+	if got := a.Used(); got != 1014 {
+		t.Fatalf("Used = %d, want 1014", got)
+	}
+	a.Release(KindScratch, 1000)
+	if got := a.Peak(); got != 1014 {
+		t.Fatalf("Peak = %d, want 1014", got)
+	}
+}
+
+func TestNilAccountantIsSafe(t *testing.T) {
+	var a *Accountant
+	a.Charge(KindPlan, 10)
+	a.Release(KindPlan, 10)
+	a.Reset()
+	if a.Used() != 0 || a.Peak() != 0 || a.DurableUsed() != 0 || a.DurablePeak() != 0 {
+		t.Fatal("nil accountant must read as zero")
+	}
+	if a.KindUsed(KindPlan) != 0 || a.KindPeak(KindScratch) != 0 {
+		t.Fatal("nil accountant kind reads must be zero")
+	}
+	if s := a.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+}
+
+func TestResetZeroesEverything(t *testing.T) {
+	a := New()
+	a.Charge(KindMemoEntry, 7)
+	a.Charge(KindScratch, 9)
+	a.Release(KindScratch, 9)
+	a.Reset()
+	s := a.Snapshot()
+	if s != (Snapshot{}) {
+		t.Fatalf("snapshot after Reset = %+v, want zero", s)
+	}
+}
+
+func TestSnapshotKinds(t *testing.T) {
+	a := New()
+	a.Charge(KindPlan, 64)
+	a.Charge(KindScratch, 32)
+	s := a.Snapshot()
+	if s.Kinds[KindPlan].PeakBytes != 64 || s.Kinds[KindScratch].UsedBytes != 32 {
+		t.Fatalf("snapshot kinds = %+v", s.Kinds)
+	}
+	if s.UsedBytes != 96 || s.DurableUsedBytes != 64 {
+		t.Fatalf("snapshot totals = %+v", s)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindMemoEntry: "memo_entries",
+		KindPlan:      "plans",
+		KindProperty:  "properties",
+		KindScratch:   "scratch",
+		NumKinds:      "unknown",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, s)
+		}
+	}
+	if KindScratch.Durable() {
+		t.Error("scratch must not be durable")
+	}
+	if !KindPlan.Durable() || !KindMemoEntry.Durable() || !KindProperty.Durable() {
+		t.Error("non-scratch kinds must be durable")
+	}
+}
+
+// TestConcurrentCharges exercises the CAS peak loop under -race and checks
+// the books balance after symmetric charge/release pairs.
+func TestConcurrentCharges(t *testing.T) {
+	a := New()
+	const workers, rounds = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				a.Charge(KindScratch, 16)
+				a.Charge(KindPlan, 8)
+				a.Release(KindScratch, 16)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.KindUsed(KindScratch); got != 0 {
+		t.Fatalf("scratch used = %d, want 0", got)
+	}
+	wantPlans := int64(workers * rounds * 8)
+	if got := a.KindUsed(KindPlan); got != wantPlans {
+		t.Fatalf("plan used = %d, want %d", got, wantPlans)
+	}
+	if got := a.Peak(); got < wantPlans {
+		t.Fatalf("peak = %d, want >= %d", got, wantPlans)
+	}
+}

@@ -29,7 +29,8 @@ const (
 // AdmissionDecision records the controller's choice and the numbers behind
 // it. It is the paper's Figure 1 decision ("is further optimization worth
 // its compilation time?") with the plan-benefit side replaced by an
-// operator-set compile-time budget.
+// operator-set compile-time budget — and, since the resource-accounting
+// layer, a peak-memory budget gating on the memory model's prediction.
 type AdmissionDecision struct {
 	Action         AdmissionAction `json:"action"`
 	RequestedLevel string          `json:"requested_level"`
@@ -39,6 +40,11 @@ type AdmissionDecision struct {
 	PredictedNS int64 `json:"predicted_ns,omitempty"`
 	// BudgetNS is the budget the prediction was compared against.
 	BudgetNS int64 `json:"budget_ns,omitempty"`
+	// PredictedBytes is the memory model's predicted peak optimizer memory
+	// for the requested level; MemBudgetBytes is the budget it was compared
+	// against. Both absent when no memory budget is set.
+	PredictedBytes int64 `json:"predicted_bytes,omitempty"`
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
 }
 
 // downgrades maps each dynamic-programming level to the next cheaper
@@ -51,34 +57,77 @@ func downgrades(l opt.Level) opt.Level { return l.NextLower() }
 // and decides accept / downgrade / reject. predict returns the predicted
 // compilation time of one level (the server routes it through the estimate
 // cache, so repeated admissions of the same statement shape are nearly
-// free). A zero budget or a nil-model predict (predicted == 0 with ok ==
-// false) bypasses control. The greedy low level never needs admission: its
-// cost is polynomial and it is the floor every downgrade ends at.
-func admit(requested opt.Level, budget time.Duration, allowDowngrade bool,
-	predict func(opt.Level) (time.Duration, bool, error)) (*AdmissionDecision, error) {
+// free); predictMem returns the memory model's predicted peak bytes (zero
+// when unpriceable). A level is admitted only when every armed budget fits:
+// time within budget (or unpriceable — no model means no basis to refuse)
+// and predicted peak memory within memBudget. Zero budgets disarm their
+// predicate; with both disarmed, or nothing priceable, control is bypassed.
+// The greedy low level never needs admission: its cost is polynomial and it
+// is the floor every downgrade ends at.
+func admit(requested opt.Level, budget time.Duration, memBudget int64, allowDowngrade bool,
+	predict func(opt.Level) (time.Duration, bool, error),
+	predictMem func(opt.Level) (int64, error)) (*AdmissionDecision, error) {
 
 	dec := &AdmissionDecision{
 		RequestedLevel: LevelName(requested),
 		AdmittedLevel:  LevelName(requested),
-		BudgetNS:       budget.Nanoseconds(),
 	}
-	if budget <= 0 || requested == opt.LevelLow {
+	if budget > 0 {
+		dec.BudgetNS = budget.Nanoseconds()
+	}
+	if memBudget > 0 {
+		dec.MemBudgetBytes = memBudget
+	}
+	if (budget <= 0 && memBudget <= 0) || requested == opt.LevelLow {
 		dec.Action = AdmitAccept
-		if budget <= 0 {
-			dec.BudgetNS = 0
-		}
 		return dec, nil
 	}
-	predicted, ok, err := predict(requested)
+	// check prices one level against every armed budget. priced reports
+	// whether any predicate could be priced at all; record stores the
+	// requested level's predictions on the decision.
+	check := func(l opt.Level, record bool) (fits, priced bool, err error) {
+		fits = true
+		if budget > 0 {
+			p, ok, err := predict(l)
+			if err != nil {
+				return false, false, err
+			}
+			if ok {
+				priced = true
+				if record {
+					dec.PredictedNS = p.Nanoseconds()
+				}
+				if p > budget {
+					fits = false
+				}
+			}
+		}
+		if memBudget > 0 {
+			pb, err := predictMem(l)
+			if err != nil {
+				return false, false, err
+			}
+			if pb > 0 {
+				priced = true
+				if record {
+					dec.PredictedBytes = pb
+				}
+				if pb > memBudget {
+					fits = false
+				}
+			}
+		}
+		return fits, priced, nil
+	}
+	fits, priced, err := check(requested, true)
 	if err != nil {
 		return nil, err
 	}
-	if !ok {
+	if !priced {
 		dec.Action = AdmitBypass
 		return dec, nil
 	}
-	dec.PredictedNS = predicted.Nanoseconds()
-	if predicted <= budget {
+	if fits {
 		dec.Action = AdmitAccept
 		return dec, nil
 	}
@@ -95,14 +144,18 @@ func admit(requested opt.Level, budget time.Duration, allowDowngrade bool,
 			dec.AdmittedLevel = LevelName(l)
 			return dec, nil
 		}
-		p, ok, err := predict(l)
+		fits, priced, err := check(l, false)
 		if err != nil {
 			return nil, err
 		}
-		if !ok || p <= budget {
+		if !priced || fits {
 			dec.Action = AdmitDowngrade
 			dec.AdmittedLevel = LevelName(l)
 			return dec, nil
 		}
 	}
 }
+
+// noMemPredict is the disarmed memory predicate for call sites without a
+// memory budget.
+func noMemPredict(opt.Level) (int64, error) { return 0, nil }

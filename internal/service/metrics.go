@@ -7,6 +7,7 @@ import (
 
 	"cote/internal/calib"
 	"cote/internal/optctx"
+	"cote/internal/resource"
 )
 
 // Counter is an atomic monotonically increasing counter.
@@ -20,6 +21,23 @@ func (c *Counter) AddN(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// MaxGauge is an atomic high-water mark: Observe keeps the largest value
+// ever seen.
+type MaxGauge struct{ v atomic.Int64 }
+
+// Observe folds one value into the maximum.
+func (g *MaxGauge) Observe(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the maximum observed so far.
+func (g *MaxGauge) Value() int64 { return g.v.Load() }
 
 // Histogram is a lock-free latency histogram over power-of-two microsecond
 // buckets: bucket i counts observations in [2^(i-1), 2^i) µs. Thirty-two
@@ -130,8 +148,20 @@ type Metrics struct {
 	QueueRejected Counter
 	Timeouts      Counter
 	// BudgetAborts counts optimizations aborted because generated plans
-	// overran the COTE prediction by more than the budget factor.
-	BudgetAborts Counter
+	// overran the COTE prediction by more than the budget factor;
+	// MemBudgetAborts counts those aborted because measured optimizer
+	// memory crossed the memory budget.
+	BudgetAborts    Counter
+	MemBudgetAborts Counter
+
+	// Resource accounting over every accounted compilation: runs observed,
+	// cumulative peak bytes (total and durable), and the largest single-run
+	// peaks since start — the /metrics "resource" section.
+	ResourceRuns           Counter
+	ResourcePeakSum        Counter
+	ResourceDurableSum     Counter
+	ResourcePeakMax        MaxGauge
+	ResourceDurablePeakMax MaxGauge
 
 	// Observations counts real optimizations fed to the calibration loop;
 	// ModelInstalls counts model versions installed through the API paths
@@ -166,6 +196,19 @@ func (m *Metrics) ObserveStage(s optctx.Stage, count int64, elapsed time.Duratio
 	}
 	m.StageCount[s].AddN(count)
 	m.StageTimeUS[s].AddN(elapsed.Microseconds())
+}
+
+// ObserveResources folds one accounted compilation's resource snapshot into
+// the aggregates. Unaccounted runs (zero snapshot) are skipped.
+func (m *Metrics) ObserveResources(s resource.Snapshot) {
+	if s.PeakBytes == 0 && s.DurablePeakBytes == 0 {
+		return
+	}
+	m.ResourceRuns.Add()
+	m.ResourcePeakSum.AddN(s.PeakBytes)
+	m.ResourceDurableSum.AddN(s.DurablePeakBytes)
+	m.ResourcePeakMax.Observe(s.PeakBytes)
+	m.ResourceDurablePeakMax.Observe(s.DurablePeakBytes)
 }
 
 // ObserveStages folds a finished compilation's per-stage snapshot into the
@@ -225,17 +268,27 @@ func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache, cal *calib.Calibrat
 			"abandoned_runs": pool.Abandoned(),
 			"budget_aborts":  m.BudgetAborts.Value(),
 		},
+		"resource": map[string]int64{
+			"accounted_runs":         m.ResourceRuns.Value(),
+			"peak_bytes_sum":         m.ResourcePeakSum.Value(),
+			"durable_peak_sum":       m.ResourceDurableSum.Value(),
+			"peak_bytes_max":         m.ResourcePeakMax.Value(),
+			"durable_peak_bytes_max": m.ResourceDurablePeakMax.Value(),
+			"mem_budget_aborts":      m.MemBudgetAborts.Value(),
+		},
 		"calibration": map[string]any{
-			"model_version":   int64(cal.Registry().Version()),
-			"model_installs":  m.ModelInstalls.Value(),
-			"observations":    m.Observations.Value(),
-			"window_len":      int64(cs.WindowLen),
-			"window_cap":      int64(cs.WindowCap),
-			"drift":           cs.Drift,
-			"degraded":        cs.Degraded,
-			"recalibrations":  cs.Recalibrations,
-			"refits_rejected": cs.Rejected,
-			"refits_failed":   cs.Failures,
+			"model_version":      int64(cal.Registry().Version()),
+			"model_installs":     m.ModelInstalls.Value(),
+			"observations":       m.Observations.Value(),
+			"window_len":         int64(cs.WindowLen),
+			"window_cap":         int64(cs.WindowCap),
+			"drift":              cs.Drift,
+			"degraded":           cs.Degraded,
+			"recalibrations":     cs.Recalibrations,
+			"refits_rejected":    cs.Rejected,
+			"refits_failed":      cs.Failures,
+			"mem_samples":        int64(cs.MemSamples),
+			"mem_recalibrations": cs.MemRecalibrations,
 		},
 		"enum_scan": map[string]int64{
 			"candidates_visited": m.EnumCandidatesVisited.Value(),

@@ -13,6 +13,7 @@ import (
 	"cote/internal/core"
 	"cote/internal/cost"
 	"cote/internal/fingerprint"
+	"cote/internal/knobs"
 	"cote/internal/modelio"
 	"cote/internal/opt"
 	"cote/internal/optctx"
@@ -69,6 +70,12 @@ type Config struct {
 	// when the prediction admission trusted turns out wrong. Requires a
 	// calibrated model to have any effect. Zero disables the abort.
 	BudgetFactor float64
+	// MemBudget, when positive, bounds each compile's peak optimizer memory
+	// in bytes, twice over: admission gates on the memory model's predicted
+	// peak (reject or downgrade like the time budget), and an admitted
+	// compile whose measured usage crosses the budget is aborted mid-flight
+	// (and downgraded when Downgrade is set). Zero disables both.
+	MemBudget int64
 }
 
 // DefaultRequestTimeout bounds estimate/optimize requests when Config
@@ -92,11 +99,13 @@ type Server struct {
 	calib  *calib.Calibrator
 }
 
-// New returns a server with the config's defaults filled in.
+// New returns a server with the config's defaults filled in. The knob
+// clamps (parallelism floor, budget knobs disabling at zero) go through
+// internal/knobs — the same defaulting path the optimizer layers use.
 func New(cfg Config) *Server {
-	if cfg.MaxParallelism < 1 {
-		cfg.MaxParallelism = 1
-	}
+	cfg.MaxParallelism = knobs.Parallelism(cfg.MaxParallelism)
+	cfg.BudgetFactor = knobs.BudgetFactor(cfg.BudgetFactor)
+	cfg.MemBudget = knobs.MemBudget(cfg.MemBudget)
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0) / cfg.MaxParallelism
 		if cfg.Workers < 1 {
@@ -141,6 +150,16 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Model returns the current compilation-time model (nil before
 // calibration).
 func (s *Server) Model() *core.TimeModel { return s.models.CurrentModel() }
+
+// memModel returns the memory model predictions are priced with: the
+// registry's calibrated one, or the structural default before any memory
+// calibration ran.
+func (s *Server) memModel() *core.MemModel {
+	if m := s.models.CurrentMemModel(); m != nil {
+		return m
+	}
+	return core.DefaultMemModel()
+}
 
 // SetModel installs m as a new model version (source "api").
 func (s *Server) SetModel(m *core.TimeModel) {
@@ -341,7 +360,8 @@ func (s *Server) Estimate(ctx context.Context, req EstimateRequest) (*EstimateRe
 	}
 	// Price a copy with the current model version, leaving the cached entry
 	// prediction-free: a model swap can never serve a stale PredictedTime
-	// because the prediction is never stored, only the counts.
+	// (or PredictedPeakBytes) because predictions are never stored, only
+	// the structural counts.
 	out := *est
 	out.PredictedTime = 0
 	resp := &EstimateResponse{
@@ -351,9 +371,12 @@ func (s *Server) Estimate(ctx context.Context, req EstimateRequest) (*EstimateRe
 		Estimate: &out,
 	}
 	if v := s.models.Current(); v != nil {
-		out.PredictedTime = v.Model.Predict(out.Counts)
+		if v.Model != nil {
+			out.PredictedTime = v.Model.Predict(out.Counts)
+		}
 		resp.ModelVersion = v.Version
 	}
+	out.PredictedPeakBytes = core.EstimateMemory(&out, s.memModel())
 	return resp, nil
 }
 
@@ -489,6 +512,7 @@ func (s *Server) EstimateBatch(ctx context.Context, req EstimateBatchRequest) (*
 		if m != nil {
 			out.PredictedTime = m.Predict(out.Counts)
 		}
+		out.PredictedPeakBytes = core.EstimateMemory(&out, s.memModel())
 		for _, i := range g.items {
 			resp.Items[i].Cached = cached
 			resp.Items[i].Estimate = &out
@@ -511,6 +535,9 @@ type OptimizeRequest struct {
 	// Parallelism requests intra-query parallel enumeration for this
 	// compile, clamped to [1, Config.MaxParallelism]. Zero means serial.
 	Parallelism int `json:"parallelism,omitempty"`
+	// MemBudgetBytes overrides the server's memory budget for this request
+	// (bytes; negative disables the memory budget).
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
 }
 
 // OptimizeResponse is the reply: the admission decision and — unless
@@ -529,6 +556,12 @@ type OptimizeResponse struct {
 	// than the server's budget factor; the final plan (if any) came from a
 	// cheaper level.
 	BudgetAborted []string `json:"budget_aborted,omitempty"`
+	// MemAborted lists levels aborted mid-flight because measured optimizer
+	// memory crossed the memory budget.
+	MemAborted []string `json:"mem_aborted,omitempty"`
+	// PeakBytes is the measured durable memory high-water mark of the
+	// compile that produced the plan.
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
 }
 
 // Optimize runs a real optimization behind admission control: the cheap
@@ -546,6 +579,10 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 	budget := s.cfg.Budget
 	if req.BudgetMS != 0 {
 		budget = time.Duration(req.BudgetMS) * time.Millisecond
+	}
+	memBudget := s.cfg.MemBudget
+	if req.MemBudgetBytes != 0 {
+		memBudget = knobs.MemBudget(req.MemBudgetBytes)
 	}
 	downgrade := s.cfg.Downgrade
 	switch req.OnOverBudget {
@@ -571,7 +608,14 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 		}
 		return m.Predict(est.Counts), true, nil
 	}
-	dec, err := admit(level, budget, downgrade, predict)
+	predictMem := func(l opt.Level) (int64, error) {
+		est, _, err := s.estimateFor(ctx, entry, blk, l, true)
+		if err != nil {
+			return 0, err
+		}
+		return core.EstimateMemory(est, s.memModel()), nil
+	}
+	dec, err := admit(level, budget, memBudget, downgrade, predict, predictMem)
 	if err != nil {
 		return nil, err
 	}
@@ -591,21 +635,22 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 	if err != nil {
 		return nil, err
 	}
-	parallelism := req.Parallelism
+	parallelism := knobs.Parallelism(req.Parallelism)
 	if parallelism > s.cfg.MaxParallelism {
 		parallelism = s.cfg.MaxParallelism
 	}
-	if parallelism < 1 {
-		parallelism = 1
-	}
 	// The compile runs under an execution context: the request deadline
 	// cancels it cooperatively, the COTE prediction feeds the live progress
-	// meter (/v1/progress), and — with a budget factor configured — an
-	// overrun aborts it and drops a level, re-entering this loop.
+	// meter (/v1/progress), and — with a budget factor or memory budget
+	// configured — an overrun aborts it and drops a level, re-entering this
+	// loop.
 	for {
 		oc := optctx.New(ctx)
 		var predictedTime time.Duration
 		if admitted != opt.LevelLow {
+			// The greedy floor runs unbudgeted, like admission: it is the
+			// level every downgrade must be able to land on.
+			oc.SetMemBudget(memBudget)
 			if plans, t, ok := s.predictLevel(ctx, entry, blk, admitted); ok {
 				predictedTime = t
 				oc.SetPredictedPlans(plans)
@@ -627,18 +672,35 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 			resp.Rows = res.Plan.Card
 			resp.ElapsedNS = res.Elapsed.Nanoseconds()
 			resp.Counts = core.CountsFrom(res.TotalCounters())
+			resp.PeakBytes = res.Resources.DurablePeakBytes
+			s.metrics.ObserveResources(res.Resources)
 			// Feed the calibration loop: every real optimization is a
-			// training sample, and the priced ones score the model's drift.
+			// training sample, the priced ones score the model's drift, and
+			// the accounted ones (paired with the estimate's structural
+			// counts) train the memory model.
 			s.metrics.Observations.Add()
-			s.calib.ObserveCompile(core.ObservationFrom(
-				res.TotalCounters(), admitted, fingerprint.Of(blk), predictedTime, res.Elapsed))
+			obs := core.ObservationFrom(
+				res.TotalCounters(), admitted, fingerprint.Of(blk), predictedTime, res.Elapsed)
+			obs.PeakBytes = res.Resources.DurablePeakBytes
+			if est, _, err := s.estimateFor(ctx, entry, blk, admitted, true); err == nil {
+				for _, be := range est.Blocks {
+					obs.Entries += be.Entries
+					obs.PropertyBytes += be.PropertyBytes
+				}
+			}
+			s.calib.ObserveCompile(obs)
 			return resp, nil
 		}
-		if !errors.Is(err, optctx.ErrBudgetExceeded) {
+		switch {
+		case errors.Is(err, optctx.ErrBudgetExceeded):
+			s.metrics.BudgetAborts.Add()
+			resp.BudgetAborted = append(resp.BudgetAborted, LevelName(admitted))
+		case errors.Is(err, optctx.ErrMemBudgetExceeded):
+			s.metrics.MemBudgetAborts.Add()
+			resp.MemAborted = append(resp.MemAborted, LevelName(admitted))
+		default:
 			return nil, err
 		}
-		s.metrics.BudgetAborts.Add()
-		resp.BudgetAborted = append(resp.BudgetAborted, LevelName(admitted))
 		if !downgrade {
 			return nil, err
 		}
@@ -802,9 +864,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		s.metrics.Timeouts.Add()
 	case errors.Is(err, context.Canceled):
 		status = 499 // client went away
-	case errors.Is(err, optctx.ErrBudgetExceeded):
-		// Aborted over budget with downgrading disallowed: the same
-		// "compilation too expensive" outcome as an admission reject.
+	case errors.Is(err, optctx.ErrBudgetExceeded), errors.Is(err, optctx.ErrMemBudgetExceeded):
+		// Aborted over budget (plans or bytes) with downgrading disallowed:
+		// the same "compilation too expensive" outcome as an admission
+		// reject.
 		status = http.StatusTooManyRequests
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})

@@ -61,12 +61,61 @@ func TestAdmitDecisions(t *testing.T) {
 		{"greedy always admitted", opt.LevelLow, time.Nanosecond, false, preds, AdmitAccept, "low"},
 	}
 	for _, tc := range cases {
-		dec, err := admit(tc.level, tc.budget, tc.downgrade, predictTable(tc.preds))
+		dec, err := admit(tc.level, tc.budget, 0, tc.downgrade, predictTable(tc.preds), noMemPredict)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
 		if dec.Action != tc.action || dec.AdmittedLevel != tc.admitted {
 			t.Fatalf("%s: got %s/%q, want %s/%q", tc.name, dec.Action, dec.AdmittedLevel, tc.action, tc.admitted)
+		}
+	}
+}
+
+// memTable drives admit with canned per-level peak-memory predictions.
+func memTable(m map[opt.Level]int64) func(opt.Level) (int64, error) {
+	return func(l opt.Level) (int64, error) { return m[l], nil }
+}
+
+func TestAdmitMemoryBudget(t *testing.T) {
+	preds := map[opt.Level]time.Duration{
+		opt.LevelHigh:           100 * time.Millisecond,
+		opt.LevelHighInner2:     40 * time.Millisecond,
+		opt.LevelMediumZigZag:   20 * time.Millisecond,
+		opt.LevelMediumLeftDeep: 8 * time.Millisecond,
+	}
+	mems := map[opt.Level]int64{
+		opt.LevelHigh:           1 << 20,
+		opt.LevelHighInner2:     1 << 18,
+		opt.LevelMediumZigZag:   1 << 16,
+		opt.LevelMediumLeftDeep: 1 << 14,
+	}
+	cases := []struct {
+		name      string
+		level     opt.Level
+		budget    time.Duration
+		memBudget int64
+		downgrade bool
+		action    AdmissionAction
+		admitted  string
+	}{
+		{"mem within budget", opt.LevelHigh, 0, 1 << 21, false, AdmitAccept, "high"},
+		{"mem over, reject", opt.LevelHigh, 0, 1 << 19, false, AdmitReject, ""},
+		{"mem over, downgrade one", opt.LevelHigh, 0, 1 << 19, true, AdmitDowngrade, "inner2"},
+		{"mem over, downgrade to floor", opt.LevelHigh, 0, 1 << 10, true, AdmitDowngrade, "low"},
+		{"time fits but mem rejects", opt.LevelHigh, time.Second, 1 << 19, false, AdmitReject, ""},
+		{"mem fits but time downgrades", opt.LevelHigh, 25 * time.Millisecond, 1 << 21, true, AdmitDowngrade, "zigzag"},
+		{"both budgets downgrade to tightest", opt.LevelHigh, 50 * time.Millisecond, 1 << 17, true, AdmitDowngrade, "zigzag"},
+	}
+	for _, tc := range cases {
+		dec, err := admit(tc.level, tc.budget, tc.memBudget, tc.downgrade, predictTable(preds), memTable(mems))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if dec.Action != tc.action || dec.AdmittedLevel != tc.admitted {
+			t.Fatalf("%s: got %s/%q, want %s/%q", tc.name, dec.Action, dec.AdmittedLevel, tc.action, tc.admitted)
+		}
+		if tc.memBudget > 0 && dec.Action != AdmitBypass && dec.PredictedBytes != mems[tc.level] {
+			t.Fatalf("%s: PredictedBytes = %d, want %d", tc.name, dec.PredictedBytes, mems[tc.level])
 		}
 	}
 }

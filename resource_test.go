@@ -1,0 +1,145 @@
+// Resource-accounting integration tests: the durable high-water mark is a
+// deterministic property of the query and level — bit-identical across pool
+// states, repeated runs and parallelism degrees — and the accounting layer
+// itself costs nothing on the estimate hot path. Run with -race: the
+// parallel cases double as a data-race check on the shared accountant.
+package cote_test
+
+import (
+	"context"
+	"testing"
+
+	"cote/internal/core"
+	"cote/internal/experiments"
+	"cote/internal/opt"
+	"cote/internal/optctx"
+	"cote/internal/workload"
+)
+
+// TestDurablePeakDeterministicAcrossRuns pins the pooled-reuse contract at
+// the integration level: recompiling the same query must measure the exact
+// same durable peak every time. A MEMO or scratch that carried accounting
+// state through the pool (or charged pooled buffers twice) would drift run
+// over run.
+func TestDurablePeakDeterministicAcrossRuns(t *testing.T) {
+	for _, q := range workload.Real1(1).Queries[:4] {
+		var first int64
+		for run := 0; run < 3; run++ {
+			res, err := opt.OptimizeCtx(context.Background(), q.Block, opt.Options{Level: experiments.Level})
+			if err != nil {
+				t.Fatal(err)
+			}
+			peak := res.Resources.DurablePeakBytes
+			if peak <= 0 {
+				t.Fatalf("%s: durable peak = %d, want > 0", q.Name, peak)
+			}
+			if run == 0 {
+				first = peak
+			} else if peak != first {
+				t.Fatalf("%s: run %d durable peak %d != first run's %d — pooled reuse leaked accounting state",
+					q.Name, run, peak, first)
+			}
+		}
+	}
+}
+
+// TestParallelDurablePeakMatchesSerial pins the determinism guarantee across
+// the parallel DP driver: durable charges happen at canonical commit points,
+// so enum.RunParallel must reach the same durable high-water as the serial
+// driver at every worker count, on every query. Under -race this also
+// exercises the workers' concurrent charging of the shared accountant.
+func TestParallelDurablePeakMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel sweep skipped in -short")
+	}
+	w := workload.Real1(1)
+	for _, q := range w.Queries {
+		serial, err := opt.OptimizeCtx(context.Background(), q.Block, opt.Options{Level: experiments.Level})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := serial.Resources.DurablePeakBytes
+		for _, workers := range []int{2, 4} {
+			res, err := opt.OptimizeCtx(context.Background(), q.Block, opt.Options{Level: experiments.Level, Parallelism: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Resources.DurablePeakBytes; got != want {
+				t.Fatalf("%s P=%d: durable peak %d != serial %d", q.Name, workers, got, want)
+			}
+			// Scratch is allocator-level and excluded from determinism, but it
+			// must have been charged: a zero total peak means a worker ran
+			// unaccounted.
+			if res.Resources.PeakBytes <= res.Resources.DurablePeakBytes {
+				t.Fatalf("%s P=%d: total peak %d <= durable peak %d — scratch uncharged",
+					q.Name, workers, res.Resources.PeakBytes, res.Resources.DurablePeakBytes)
+			}
+		}
+	}
+}
+
+// TestEstimateMeasuredBytesDeterministic pins the estimate path's measured
+// durable bytes: same query, same level, same number — with or without an
+// execution context attached, across repeated (pooled) runs.
+func TestEstimateMeasuredBytesDeterministic(t *testing.T) {
+	q := workload.Real2(1).Queries[7]
+	base, err := core.EstimatePlans(q.Block, core.Options{Level: experiments.Level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MeasuredPeakBytes <= 0 {
+		t.Fatalf("MeasuredPeakBytes = %d, want > 0", base.MeasuredPeakBytes)
+	}
+	for run := 0; run < 3; run++ {
+		est, err := core.EstimatePlansCtx(context.Background(), q.Block, core.Options{Level: experiments.Level})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.MeasuredPeakBytes != base.MeasuredPeakBytes {
+			t.Fatalf("run %d: MeasuredPeakBytes %d != %d", run, est.MeasuredPeakBytes, base.MeasuredPeakBytes)
+		}
+	}
+}
+
+// TestAccountantAddsNoEstimateAllocs is the alloc guard of the accounting
+// layer: arming a run accountant on the headline estimate must add zero
+// allocations per run — the Accountant is embedded by value in the execution
+// context and every charge site is an atomic add.
+func TestAccountantAddsNoEstimateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("alloc guard skipped under -race: the race detector makes sync.Pool drop puts at random, so per-run alloc counts jitter")
+	}
+	q := workload.Real2(1).Queries[7]
+	opts := core.Options{Level: experiments.Level}
+	oc := optctx.New(context.Background())
+	armed := opts
+	armed.Exec = oc
+	runBare := func() {
+		if _, err := core.EstimatePlans(q.Block, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runArmed := func() {
+		if _, err := core.EstimatePlans(q.Block, armed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm both paths into pool steady state first: sync.Pool growth and
+	// eviction otherwise dominate the per-run delta with noise.
+	for i := 0; i < 5; i++ {
+		runBare()
+		runArmed()
+	}
+	bare := testing.AllocsPerRun(10, runBare)
+	accounted := testing.AllocsPerRun(10, runArmed)
+	// The execution context itself may cost a constant handful (created once,
+	// not per run — but pool jitter leaks through); the guard is that the
+	// per-run accounting adds nothing that scales with the query.
+	const slack = 2
+	if accounted > bare+slack {
+		t.Errorf("accounted estimate = %.0f allocs/op vs %.0f bare — the accountant must be alloc-free on the hot path", accounted, bare)
+	}
+}

@@ -9,6 +9,11 @@
 #                                    every baselined benchmark must still
 #                                    exist and parse, wall-clock not judged)
 #
+# Custom b.ReportMetric units (e.g. the headline estimate's deterministic
+# "peak-bytes" resource metric) land in each benchmark's "extra" map in
+# BENCH_cote.json; `benchjson -delta` reports them alongside ns/op and
+# allocs/op.
+#
 # Environment overrides:
 #   COUNT      runs per benchmark, median kept   (default 5; smoke: 1)
 #   BENCH      -bench regex                      (default .)
