@@ -44,6 +44,7 @@ func setup(b *testing.B) {
 			"real1_s": workload.Real1(1), "real1_p": workload.Real1(4),
 			"real2_s": workload.Real2(1), "real2_p": workload.Real2(4),
 			"tpch_s": workload.TPCH(1), "tpch_p": workload.TPCH(4),
+			"clique_s": workload.Clique(1), "clique_p": workload.Clique(4),
 		}
 		models = map[string]*core.TimeModel{}
 		for _, v := range []string{"s", "p"} {
@@ -311,6 +312,75 @@ func BenchmarkEstimateReal2Headline(b *testing.B) {
 	// metric is stable across runs and machines.
 	b.ReportMetric(float64(est.MeasuredPeakBytes), "peak-bytes")
 }
+
+// benchEstimateParallel estimates the headline query with the parallel
+// counting pass at a fixed degree. Speedup over BenchmarkEstimateReal2Headline
+// is the tentpole metric; on single-core machines these mainly measure that
+// the parallel machinery's overhead stays negligible.
+func benchEstimateParallel(b *testing.B, workers int) {
+	setup(b)
+	q := wls["real2_s"].Queries[7]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EstimatePlans(q.Block, core.Options{Level: experiments.Level, Parallelism: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateReal2HeadlineP2(b *testing.B) { benchEstimateParallel(b, 2) }
+func BenchmarkEstimateReal2HeadlineP4(b *testing.B) { benchEstimateParallel(b, 4) }
+
+// BenchmarkEstimateParallelSpeedup reports the serial/parallel estimation
+// wall-clock ratio directly, both modes measured inside one benchmark run so
+// the comparison shares its machine state.
+func BenchmarkEstimateParallelSpeedup(b *testing.B) {
+	setup(b)
+	q := wls["real2_s"].Queries[7]
+	workers := runtime.GOMAXPROCS(0)
+	var serial, parallel time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := core.EstimatePlans(q.Block, core.Options{Level: experiments.Level}); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(t0)
+		t0 = time.Now()
+		if _, err := core.EstimatePlans(q.Block, core.Options{Level: experiments.Level, Parallelism: workers}); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(t0)
+	}
+	if parallel > 0 {
+		b.ReportMetric(float64(serial)/float64(parallel), "speedup-x")
+		b.ReportMetric(float64(workers), "workers")
+	}
+}
+
+// benchEstimateHigh estimates a dense synthetic query at the unrestricted
+// bushy level — the largest counting workload per MEMO entry, so it is the
+// benchmark most sensitive to the open-addressed index and the slab
+// allocator.
+func benchEstimateHigh(b *testing.B, wl string, qi int) {
+	setup(b)
+	q := wls[wl].Queries[qi]
+	b.ReportAllocs()
+	b.ResetTimer()
+	var est *core.Estimate
+	for i := 0; i < b.N; i++ {
+		var err error
+		if est, err = core.EstimatePlans(q.Block, core.Options{Level: opt.LevelHigh}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(est.MeasuredPeakBytes), "peak-bytes")
+}
+
+func BenchmarkEstimateCliqueHigh(b *testing.B) { benchEstimateHigh(b, "clique_s", 3) } // 8 tables, all pairs joined
+func BenchmarkEstimateStarHigh(b *testing.B)   { benchEstimateHigh(b, "star_s", 14) }  // 10 tables, 5 preds/edge
 
 // --- Cross-query fingerprint memoization ---
 

@@ -25,6 +25,12 @@ type Options struct {
 	Level opt.Level
 	// Config selects serial or parallel (nil = serial).
 	Config *cost.Config
+	// Parallelism fans the counting pass out to this many workers per size
+	// class (floored at 1 = serial). The estimate is bit-identical at every
+	// degree — counting runs on workers over immutable smaller entries,
+	// property propagation replays on the driver in canonical order — so
+	// the knob only trades wall time for cores, never results.
+	Parallelism int
 	// OrderPolicy is the order generation policy (default eager).
 	OrderPolicy props.GenerationPolicy
 	// ListMode selects separate vs compound property lists (Section 3.4).
@@ -216,7 +222,18 @@ func estimateBlock(blk *query.Block, cfg *cost.Config, opts Options) (*BlockEsti
 	eopts.Cartesian = opts.CartesianPolicy
 	eopts.NaiveScan = opts.NaiveScan
 	eopts.Exec = opts.Exec
-	st, err := enum.New(blk, mem, card, eopts).Run(cnt.hooks())
+	en := enum.New(blk, mem, card, eopts)
+	var st enum.Stats
+	var err error
+	// Counting never touches the scope's shared-mode caches (see parcount.go),
+	// so unlike optimizeBlock the parallel path needs no sc.MarkShared().
+	if workers := knobs.Parallelism(opts.Parallelism); workers > 1 {
+		hooks, finish := cnt.parallelHooks()
+		st, err = en.RunParallel(hooks, workers)
+		finish()
+	} else {
+		st, err = en.Run(cnt.hooks())
+	}
 	if err != nil {
 		return nil, 0, err
 	}

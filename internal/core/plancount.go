@@ -106,7 +106,14 @@ type counter struct {
 	// joins counts the enumerated joins this counter accumulated.
 	joins int
 	// vecs holds compound property vectors per entry (CompoundLists only).
+	// Forked worker counters share this map: within size class k workers only
+	// read vectors of size<k entries, and only the driver's canonical-order
+	// commits write the size-k vectors.
 	vecs map[bitset.Set][]propVec
+	// extraScratch accumulates the scratch high-water of forked worker
+	// counters, merged in by the parallel pass's finish hook so the run
+	// accountant's working-memory charge still covers them.
+	extraScratch int64
 
 	// Scratch for the per-join hot path. accumulate_plans runs once per
 	// enumerated join — the paper's Table 3 inner loop — so everything it
@@ -198,42 +205,52 @@ func (c *counter) accumulatePlans(outer, inner, result *memo.Entry) {
 	candParts := c.candidateParts(outer, inner, result, outerCols, innerCols)
 
 	// --- property propagation (first-join-only unless ablated) ---
-	if !result.PropsPropagated || c.everyJoin {
-		result.PropsPropagated = true
-		// Orders propagate from both inputs' lists (Table 3: lists ∪ listl)
-		// — restricted to outer-enabled inputs, since orders travel on the
-		// outer of a nested-loops join (DB2 item 3) — plus the
-		// merge-candidate orders MGJN partially propagates. The merge
-		// candidates are interned because Add stores them in the entry's
-		// list, which outlives the scratch buffers.
-		outs := c.mergeOutsInterned(outerCols)
-		addUseful := func(orders []props.Order) {
-			for _, o := range orders {
-				if c.sc.OrderUseful(o, result.Tables, result.Equiv) {
-					result.Orders.Add(o, result.Equiv)
-				}
-			}
-		}
-		addUseful(outer.Orders.Orders())
-		if inner.OuterEligible {
-			addUseful(inner.Orders.Orders())
-		}
-		addUseful(outs)
-		for _, pp := range candParts {
-			if !pp.Empty() {
-				result.Parts.Add(pp, result.Equiv)
-			}
-		}
-		if c.mode == CompoundLists {
-			c.propagateVecs(outer, result, candParts, outs)
-			if inner.OuterEligible {
-				c.propagateVecs(inner, result, candParts, outs)
-			}
-		}
-	}
+	c.propagateWithCols(outer, inner, result, outerCols, candParts)
 
 	// --- plan counting per method ---
 	c.countWithCols(outer, inner, result, outerCols, innerCols, candParts)
+}
+
+// propagateWithCols is the property-propagation half of accumulate_plans,
+// split out so the parallel counting pass can replay it on the driver in
+// canonical commit order while the counting half ran on workers. It writes
+// only the result entry's (size-k) lists and the compound-vector map, never
+// the inputs'.
+func (c *counter) propagateWithCols(outer, inner, result *memo.Entry, outerCols []query.ColID, candParts []props.Partition) {
+	if result.PropsPropagated && !c.everyJoin {
+		return
+	}
+	result.PropsPropagated = true
+	// Orders propagate from both inputs' lists (Table 3: lists ∪ listl)
+	// — restricted to outer-enabled inputs, since orders travel on the
+	// outer of a nested-loops join (DB2 item 3) — plus the
+	// merge-candidate orders MGJN partially propagates. The merge
+	// candidates are interned because Add stores them in the entry's
+	// list, which outlives the scratch buffers.
+	outs := c.mergeOutsInterned(outerCols)
+	addUseful := func(orders []props.Order) {
+		for _, o := range orders {
+			if c.sc.OrderUseful(o, result.Tables, result.Equiv) {
+				result.Orders.Add(o, result.Equiv)
+			}
+		}
+	}
+	addUseful(outer.Orders.Orders())
+	if inner.OuterEligible {
+		addUseful(inner.Orders.Orders())
+	}
+	addUseful(outs)
+	for _, pp := range candParts {
+		if !pp.Empty() {
+			result.Parts.Add(pp, result.Equiv)
+		}
+	}
+	if c.mode == CompoundLists {
+		c.propagateVecs(outer, result, candParts, outs)
+		if inner.OuterEligible {
+			c.propagateVecs(inner, result, candParts, outs)
+		}
+	}
 }
 
 // mergeOutsInterned builds the outer-side merge-candidate orders (the outs
@@ -411,7 +428,7 @@ var (
 // property lists themselves are durable MEMO content and charged separately.
 func (c *counter) scratchBytes() int64 {
 	cols := cap(c.ocBuf) + cap(c.icBuf) + cap(c.jcBuf)
-	return int64(cols)*counterColIDBytes + int64(cap(c.outsBuf))*counterOrderBytes
+	return int64(cols)*counterColIDBytes + int64(cap(c.outsBuf))*counterOrderBytes + c.extraScratch
 }
 
 // propertyBytes reports the memory footprint of the maintained property

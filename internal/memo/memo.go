@@ -13,6 +13,7 @@ package memo
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"unsafe"
 
@@ -30,7 +31,8 @@ import (
 // property core.EstimateMemory and its calibration depend on.
 const (
 	// entryIndexBytes approximates an entry's share of the index
-	// bookkeeping: its map key+pointer slot and its size-class slot.
+	// bookkeeping: its open-addressed key+pointer slot (amortized over the
+	// table's load factor) and its size-class slot.
 	entryIndexBytes = 40
 	// EntryFootprint is the bytes charged per MEMO entry (excluding the
 	// per-member posting ordinals, which scale with set size).
@@ -177,10 +179,43 @@ type Entry struct {
 	PropsPropagated bool
 }
 
+// fibMul is the 64-bit Fibonacci hashing multiplier (2^64/phi). Table sets
+// are dense small integers whose low bits carry most of the information;
+// multiplying and keeping the top bits spreads them uniformly over any
+// power-of-two table.
+const fibMul = 0x9E3779B97F4A7C15
+
+// slabBlock is the number of entries per slab chunk. Chunks never move once
+// allocated, so entry pointers stay stable while the slab grows.
+const slabBlock = 128
+
+// idxSlot is one slot of the open-addressed index: the table set and the
+// entry it maps to. A nil entry marks the slot empty (the zero key is a
+// valid set, so the pointer is the occupancy marker).
+type idxSlot struct {
+	key bitset.Set
+	e   *Entry
+}
+
 // Memo is the table of entries for one query block.
+//
+// The index is an open-addressed, linear-probed table keyed directly on the
+// uint64 table set, and entries live in a chunked slab: compared to the
+// map[bitset.Set]*Entry it replaced, a lookup is one multiply and a short
+// contiguous probe with no hash-function call, entries of one run are
+// cache-contiguous, and the GC sees a handful of chunk slices instead of a
+// bucket graph. Both the estimate and optimize hot paths hit this index once
+// per enumerated pair.
 type Memo struct {
-	entries map[bitset.Set]*Entry
-	bySize  [][]*Entry
+	table []idxSlot // power-of-two open-addressed index; e==nil means empty
+	shift uint      // 64 - log2(len(table)): Fibonacci hash keeps the top bits
+	count int       // live entries in table
+	// blocks is the entry slab. Reset cleans used entries in place (keeping
+	// their Plans/Orders/Parts capacities) instead of freeing them, so pooled
+	// reuse allocates nothing in steady state.
+	blocks [][]Entry
+	nused  int
+	bySize [][]*Entry
 	// sorted caches the Entries() snapshot; GetOrCreate invalidates it, so
 	// hot consumers (plan counting, serialization, diagnostics) sort once
 	// after enumeration instead of once per call.
@@ -215,12 +250,74 @@ type Memo struct {
 
 // New creates an empty MEMO for a block of n tables.
 func New(n int) *Memo {
+	size := 16
+	for size < 4*(n+1) {
+		size *= 2
+	}
 	return &Memo{
-		entries: make(map[bitset.Set]*Entry),
+		table:   make([]idxSlot, size),
+		shift:   uint(64 - bits.TrailingZeros(uint(size))),
 		bySize:  make([][]*Entry, n+1),
 		posting: make([][]int32, n*(n+1)),
 		nsize:   n + 1,
 	}
+}
+
+// find probes for s and returns its entry, or nil together with the slot
+// index where an insert would place it.
+func (m *Memo) find(s bitset.Set) (*Entry, int) {
+	mask := len(m.table) - 1
+	i := int((uint64(s) * fibMul) >> m.shift)
+	for m.table[i].e != nil {
+		if m.table[i].key == s {
+			return m.table[i].e, i
+		}
+		i = (i + 1) & mask
+	}
+	return nil, i
+}
+
+// grow doubles the index and rehashes every live slot. Entries themselves
+// never move — only their index slots do.
+func (m *Memo) grow() {
+	old := m.table
+	m.table = make([]idxSlot, 2*len(old))
+	m.shift--
+	mask := len(m.table) - 1
+	for _, sl := range old {
+		if sl.e == nil {
+			continue
+		}
+		i := int((uint64(sl.key) * fibMul) >> m.shift)
+		for m.table[i].e != nil {
+			i = (i + 1) & mask
+		}
+		m.table[i] = sl
+	}
+}
+
+// alloc hands out the next slab entry, growing the slab by one chunk when
+// exhausted. Entries past a Reset were cleaned in place, so the returned
+// entry is always zero-valued apart from its retained slice capacities.
+func (m *Memo) alloc() *Entry {
+	b := m.nused / slabBlock
+	if b == len(m.blocks) {
+		m.blocks = append(m.blocks, make([]Entry, slabBlock))
+	}
+	e := &m.blocks[b][m.nused%slabBlock]
+	m.nused++
+	return e
+}
+
+// cleanEntry returns a used slab entry to the zero state while keeping the
+// capacities of its Plans/Orders/Parts backing arrays (zeroed first, so the
+// pooled slab pins no plan trees or column slices from the finished run).
+func cleanEntry(e *Entry) {
+	plans := e.Plans
+	clear(plans[:cap(plans)])
+	e.Orders.Clear()
+	e.Parts.Clear()
+	*e = Entry{Plans: plans[:0], Orders: e.Orders, Parts: e.Parts}
 }
 
 // SetAccountant attaches a run accountant; subsequent entry creations, plan
@@ -253,12 +350,21 @@ func (m *Memo) ChargeProperties(n int) {
 // GetOrCreate returns the entry for s, creating it if needed; created
 // reports whether this call created it.
 func (m *Memo) GetOrCreate(s bitset.Set) (e *Entry, created bool) {
-	if e, ok := m.entries[s]; ok {
+	e, i := m.find(s)
+	if e != nil {
 		return e, false
 	}
+	if 4*(m.count+1) > 3*len(m.table) { // grow at 3/4 load
+		m.grow()
+		_, i = m.find(s)
+	}
 	k := s.Len()
-	e = &Entry{Tables: s, OuterEligible: true, SizeOrd: int32(len(m.bySize[k]))}
-	m.entries[s] = e
+	e = m.alloc()
+	e.Tables = s
+	e.OuterEligible = true
+	e.SizeOrd = int32(len(m.bySize[k]))
+	m.table[i] = idxSlot{key: s, e: e}
+	m.count++
 	m.bySize[k] = append(m.bySize[k], e)
 	s.ForEach(func(t int) {
 		i := t*m.nsize + k
@@ -283,7 +389,15 @@ func (m *Memo) Posting(t, k int) []int32 {
 // estimator's per-request hot path) allocates nothing in steady state.
 // Entry pointers obtained before the Reset must not be used afterwards.
 func (m *Memo) Reset(n int) {
-	clear(m.entries)
+	clear(m.table) // keep the index capacity; e==nil marks every slot empty
+	m.count = 0
+	// Clean used slab entries in place: zero their plan/property storage up
+	// to capacity (so the pool pins nothing from the finished run) but keep
+	// the backing arrays for the next run.
+	for i := 0; i < m.nused; i++ {
+		cleanEntry(&m.blocks[i/slabBlock][i%slabBlock])
+	}
+	m.nused = 0
 	if n+1 > cap(m.bySize) {
 		m.bySize = make([][]*Entry, n+1)
 	} else {
@@ -317,7 +431,10 @@ func (m *Memo) Reset(n int) {
 }
 
 // Entry returns the entry for s, or nil.
-func (m *Memo) Entry(s bitset.Set) *Entry { return m.entries[s] }
+func (m *Memo) Entry(s bitset.Set) *Entry {
+	e, _ := m.find(s)
+	return e
+}
 
 // OfSize returns all entries whose table set has k elements, in creation
 // order (deterministic given a deterministic enumerator).
@@ -329,7 +446,7 @@ func (m *Memo) OfSize(k int) []*Entry {
 }
 
 // NumEntries returns the number of entries.
-func (m *Memo) NumEntries() int { return len(m.entries) }
+func (m *Memo) NumEntries() int { return m.count }
 
 // NumPlans returns the number of plans currently stored (post-pruning).
 func (m *Memo) NumPlans() int { return m.nplans }
@@ -347,7 +464,7 @@ func (m *Memo) Entries() []*Entry {
 // sortEntries builds the size-then-set-value ordering from scratch — the
 // work Entries once redid on every call.
 func (m *Memo) sortEntries() []*Entry {
-	out := make([]*Entry, 0, len(m.entries))
+	out := make([]*Entry, 0, m.count)
 	for _, group := range m.bySize {
 		g := append([]*Entry(nil), group...)
 		sort.Slice(g, func(i, j int) bool { return g[i].Tables < g[j].Tables })
@@ -464,7 +581,8 @@ func (e *Entry) BestWithPartition(part props.Partition, eq *query.Equiv) *Plan {
 // estimator's memory-consumption extension (Section 6.2) builds on this.
 func (m *Memo) PropertyListBytes() int {
 	total := 0
-	for _, e := range m.entries {
+	for i := 0; i < m.nused; i++ {
+		e := &m.blocks[i/slabBlock][i%slabBlock]
 		total += (e.Orders.Len() + e.Parts.Len()) * PropertyValueBytes
 	}
 	return total

@@ -144,6 +144,15 @@ func (l *OrderList) Orders() []Order { return l.orders }
 // as a per-join dedup scratchpad on the plan-generation hot path.
 func (l *OrderList) Reset() { l.orders = l.orders[:0] }
 
+// Clear empties the list like Reset but also zeroes the retained backing
+// array, dropping the column-slice pointers the stale orders held — for
+// pooled storage (slab-allocated MEMO entries) that must not pin one run's
+// allocations across a reuse boundary.
+func (l *OrderList) Clear() {
+	clear(l.orders[:cap(l.orders)])
+	l.orders = l.orders[:0]
+}
+
 // Len returns the number of orders in the list.
 func (l *OrderList) Len() int { return len(l.orders) }
 

@@ -130,6 +130,15 @@ func (l *PartitionList) Partitions() []Partition { return l.parts }
 // as a per-join dedup scratchpad on the plan-generation hot path.
 func (l *PartitionList) Reset() { l.parts = l.parts[:0] }
 
+// Clear empties the list like Reset but also zeroes the retained backing
+// array, dropping the column-slice pointers the stale partitions held — for
+// pooled storage (slab-allocated MEMO entries) that must not pin one run's
+// allocations across a reuse boundary.
+func (l *PartitionList) Clear() {
+	clear(l.parts[:cap(l.parts)])
+	l.parts = l.parts[:0]
+}
+
 // Len returns the number of partitions in the list.
 func (l *PartitionList) Len() int { return len(l.parts) }
 

@@ -271,7 +271,13 @@ func (s *Server) parseRequest(catalogName, levelName, sql string) (*RegistryEntr
 //
 // The returned cached flag reports that this request ran no enumeration of
 // its own — an LRU hit or a wait on another request's in-flight run.
-func (s *Server) estimateFor(ctx context.Context, entry *RegistryEntry, blk *query.Block, level opt.Level, useCache bool) (*core.Estimate, bool, error) {
+func (s *Server) estimateFor(ctx context.Context, entry *RegistryEntry, blk *query.Block, level opt.Level, useCache bool, parallelism int) (*core.Estimate, bool, error) {
+	// The parallel counting pass is bit-identical to serial, so the degree
+	// stays out of the cache key: it only decides how fast a miss enumerates.
+	par := knobs.Parallelism(parallelism)
+	if par > s.cfg.MaxParallelism {
+		par = s.cfg.MaxParallelism
+	}
 	// Hash up front (cheap, needed for the key); rebuild the canonical block
 	// only inside run, which executes solely when an enumeration is due.
 	fp := fingerprint.Of(blk)
@@ -281,7 +287,7 @@ func (s *Server) estimateFor(ctx context.Context, entry *RegistryEntry, blk *que
 			if err != nil {
 				return nil, err
 			}
-			return core.EstimatePlansCtx(ctx, canon, core.Options{Level: level, Config: entry.Config})
+			return core.EstimatePlansCtx(ctx, canon, core.Options{Level: level, Config: entry.Config, Parallelism: par})
 		})
 		if err == nil {
 			// The enumerate stage moves only when an enumeration really ran:
@@ -327,6 +333,11 @@ type EstimateRequest struct {
 	SQL     string `json:"sql"`
 	Level   string `json:"level,omitempty"`
 	NoCache bool   `json:"no_cache,omitempty"`
+	// Parallelism fans the counting pass of an uncached estimate out to this
+	// many workers, clamped to [1, Config.MaxParallelism]. Zero means serial.
+	// The estimate is bit-identical at every degree, so the knob never
+	// changes the response — only how fast a cache miss computes it.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // EstimateResponse is the reply: the estimate plus cache provenance. The
@@ -354,7 +365,7 @@ func (s *Server) Estimate(ctx context.Context, req EstimateRequest) (*EstimateRe
 	}
 	ctx, cancel := s.requestCtx(ctx)
 	defer cancel()
-	est, cached, err := s.estimateFor(ctx, entry, blk, level, !req.NoCache)
+	est, cached, err := s.estimateFor(ctx, entry, blk, level, !req.NoCache, req.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -388,6 +399,9 @@ type EstimateBatchRequest struct {
 	Statements []string `json:"statements"`
 	Level      string   `json:"level,omitempty"`
 	NoCache    bool     `json:"no_cache,omitempty"`
+	// Parallelism applies the single-estimate knob to every distinct group
+	// the batch enumerates (clamped to [1, Config.MaxParallelism]).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // BatchItem is the per-statement outcome, in submission order.
@@ -497,7 +511,7 @@ func (s *Server) EstimateBatch(ctx context.Context, req EstimateBatchRequest) (*
 	}
 	for _, fp := range order {
 		g := groups[fp]
-		est, cached, err := s.estimateFor(ctx, entry, g.blk, level, !req.NoCache)
+		est, cached, err := s.estimateFor(ctx, entry, g.blk, level, !req.NoCache, req.Parallelism)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, err // the whole batch is dead, not one group
@@ -602,14 +616,14 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 		if m == nil {
 			return 0, false, nil
 		}
-		est, _, err := s.estimateFor(ctx, entry, blk, l, true)
+		est, _, err := s.estimateFor(ctx, entry, blk, l, true, req.Parallelism)
 		if err != nil {
 			return 0, false, err
 		}
 		return m.Predict(est.Counts), true, nil
 	}
 	predictMem := func(l opt.Level) (int64, error) {
-		est, _, err := s.estimateFor(ctx, entry, blk, l, true)
+		est, _, err := s.estimateFor(ctx, entry, blk, l, true, req.Parallelism)
 		if err != nil {
 			return 0, err
 		}
@@ -651,7 +665,7 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 			// The greedy floor runs unbudgeted, like admission: it is the
 			// level every downgrade must be able to land on.
 			oc.SetMemBudget(memBudget)
-			if plans, t, ok := s.predictLevel(ctx, entry, blk, admitted); ok {
+			if plans, t, ok := s.predictLevel(ctx, entry, blk, admitted, req.Parallelism); ok {
 				predictedTime = t
 				oc.SetPredictedPlans(plans)
 				if s.cfg.BudgetFactor > 0 {
@@ -682,7 +696,7 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 			obs := core.ObservationFrom(
 				res.TotalCounters(), admitted, fingerprint.Of(blk), predictedTime, res.Elapsed)
 			obs.PeakBytes = res.Resources.DurablePeakBytes
-			if est, _, err := s.estimateFor(ctx, entry, blk, admitted, true); err == nil {
+			if est, _, err := s.estimateFor(ctx, entry, blk, admitted, true, req.Parallelism); err == nil {
 				for _, be := range est.Blocks {
 					obs.Entries += be.Entries
 					obs.PropertyBytes += be.PropertyBytes
@@ -713,12 +727,12 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 // baseline, and the prediction the calibration loop scores against the
 // measured time. It reports false when no model is calibrated (no basis
 // for bounding) or the estimate itself fails (the compile must still run).
-func (s *Server) predictLevel(ctx context.Context, entry *RegistryEntry, blk *query.Block, level opt.Level) (int64, time.Duration, bool) {
+func (s *Server) predictLevel(ctx context.Context, entry *RegistryEntry, blk *query.Block, level opt.Level, parallelism int) (int64, time.Duration, bool) {
 	m := s.Model()
 	if m == nil {
 		return 0, 0, false
 	}
-	est, _, err := s.estimateFor(ctx, entry, blk, level, true)
+	est, _, err := s.estimateFor(ctx, entry, blk, level, true, parallelism)
 	if err != nil {
 		return 0, 0, false
 	}

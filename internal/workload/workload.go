@@ -158,6 +158,44 @@ func min2(a, b int) int {
 	return b
 }
 
+// Clique builds the clique synthetic workload: every pair of tables is
+// joined (the densest join graph, the worst case for DPsize enumeration and
+// the regime where the parallel counting pass has the most to win). Batches
+// follow Linear/Star; the per-edge predicate count sweeps 1..2 only — with
+// O(n^2) edges the interesting-order growth of wider sweeps would dwarf the
+// batch structure.
+func Clique(nodes int) *Workload {
+	cat := synthCatalog("clique", 10, nodes)
+	w := &Workload{Name: suffixed("clique", nodes), Catalog: cat}
+	for _, n := range batches {
+		for preds := 1; preds <= 2; preds++ {
+			w.Queries = append(w.Queries, Query{
+				Name:  fmt.Sprintf("clique_n%d_p%d", n, preds),
+				Block: cliqueQuery(cat, n, preds),
+			})
+		}
+	}
+	return w
+}
+
+// cliqueQuery joins all pairs of n tables with preds predicates per edge.
+func cliqueQuery(cat *catalog.Catalog, n, preds int) *query.Block {
+	qb := query.NewBuilder(fmt.Sprintf("clique_n%d_p%d", n, preds), cat)
+	for t := 0; t < n; t++ {
+		qb.AddTable(tname(t), "")
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for k := 0; k < preds; k++ {
+				qb.JoinEq(tname(a), jcol(b, k), tname(b), jcol(a, k))
+			}
+		}
+	}
+	addSortingClauses(qb, cat, tname(0), tname(1), preds)
+	qb.SelectCols(qb.Col(tname(0), "m1"))
+	return qb.MustBuild()
+}
+
 // starQuery joins t0 (the center) with n-1 satellites, preds predicates per
 // edge.
 func starQuery(cat *catalog.Catalog, n, preds int) *query.Block {
