@@ -9,7 +9,6 @@ package cote_test
 import (
 	"context"
 	"errors"
-	"runtime"
 	"testing"
 	"time"
 
@@ -17,6 +16,7 @@ import (
 	"cote/internal/cost"
 	"cote/internal/experiments"
 	"cote/internal/opt"
+	"cote/internal/testutil"
 	"cote/internal/workload"
 )
 
@@ -144,26 +144,15 @@ func TestDeadlineStopsOptimize(t *testing.T) {
 }
 
 // TestCancelLeavesNoGoroutines pins the parallel driver's cleanup: cancelling
-// mid-flight must not strand workers. Goroutine counts are compared with a
-// GC-and-retry loop because the runtime retires goroutines asynchronously.
+// mid-flight must not strand workers. The shared guard GC-retries the count
+// comparison because the runtime retires goroutines asynchronously.
 func TestCancelLeavesNoGoroutines(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	q := heavyQuery()
-	before := runtime.NumGoroutine()
 	for i := 0; i < 5; i++ {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 		_, _ = opt.OptimizeCtx(ctx, q.Block, opt.Options{Level: experiments.Level, Config: cost.Parallel4, Parallelism: 4})
 		cancel()
-	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= before+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines: %d before, %d after cancelled parallel compiles", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -7,9 +7,10 @@
 //
 //	coted [-addr :8334] [-workers N] [-queue N] [-timeout 30s]
 //	      [-cache 1024] [-budget 0] [-budget-factor 0] [-mem-budget 0]
-//	      [-downgrade] [-calibrate star] [-model-file cote-model.json]
+//	      [-downgrade] [-max-queue N] [-shed-deadline 0]
+//	      [-calibrate star] [-model-file cote-model.json]
 //	      [-recalibrate-min-samples 8] [-drift-threshold 0.5]
-//	      [-parallelism N] [-grace 10s] [-pprof]
+//	      [-parallelism N] [-grace 10s] [-pprof] [-fault-plan SPEC]
 //
 // Endpoints: POST /v1/estimate, POST /v1/optimize, POST /v1/calibrate,
 // GET/POST /v1/model, GET /v1/model/history, GET/POST /v1/catalogs,
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"cote/internal/calib"
+	"cote/internal/faultinject"
 	"cote/internal/modelio"
 	"cote/internal/service"
 )
@@ -61,6 +63,9 @@ func main() {
 	budgetFactor := flag.Float64("budget-factor", 0, "abort a compile whose generated plans overrun the prediction by this factor (0 = off; needs a model)")
 	memBudget := flag.Int64("mem-budget", 0, "peak optimizer memory budget in bytes: reject/downgrade optimizations predicted to exceed it and abort compiles that measurably do (0 = off)")
 	downgrade := flag.Bool("downgrade", false, "downgrade over-budget optimizations to a cheaper level instead of rejecting")
+	maxQueue := flag.Int("max-queue", 0, "overload shed bound on the waiting line: requests arriving beyond it are shed with 429 + Retry-After (0 = same as -queue)")
+	shedDeadline := flag.Duration("shed-deadline", 0, "shed requests whose deadline is within this margin of the projected queue wait (0 = no margin, deadline check still armed)")
+	faultPlan := flag.String("fault-plan", "", "activate a deterministic fault-injection plan, e.g. 'seed=42;pool.acquire:error,p=0.1' (chaos testing; see internal/faultinject)")
 	parallelism := flag.Int("parallelism", 1, "max intra-query parallelism per optimize or estimate request (workers default shrinks to compensate)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown window; in-flight work is cancelled halfway through")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof endpoints for profiling")
@@ -104,6 +109,8 @@ func main() {
 		BudgetFactor:   *budgetFactor,
 		MemBudget:      *memBudget,
 		Downgrade:      *downgrade,
+		MaxQueue:       *maxQueue,
+		ShedDeadline:   *shedDeadline,
 		MaxParallelism: *parallelism,
 		Models:         reg,
 		Calib: calib.Config{
@@ -113,6 +120,16 @@ func main() {
 		},
 	}
 	srv := service.New(cfg)
+
+	if *faultPlan != "" {
+		plan, err := faultinject.ParsePlan(*faultPlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coted: -fault-plan: %v\n", err)
+			os.Exit(1)
+		}
+		faultinject.Activate(plan)
+		log.Printf("fault plan active (seed=%d): %s", plan.Seed, *faultPlan)
+	}
 
 	if mf.Calibrate != "" {
 		log.Printf("calibrating time model on workload %q ...", mf.Calibrate)

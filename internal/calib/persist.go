@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"cote/internal/faultinject"
 )
 
 // registryFile is the on-disk JSON form of a registry (-model-file): the
@@ -25,6 +27,12 @@ type registryFile struct {
 // hostTinst, when positive, is recorded so a later load on a different
 // machine can rescale predictions; pass MeasureTinst() or zero.
 func (r *Registry) Save(path string, hostTinst float64) error {
+	// Persistence is a real disk dependency; a chaos plan fails it here so
+	// the -model-file warning path (persist fails, registry swap survives)
+	// is actually exercised.
+	if err := faultinject.Check(faultinject.PointModelPersist); err != nil {
+		return fmt.Errorf("calib: save registry: %w", err)
+	}
 	r.mu.Lock()
 	f := registryFile{
 		HostTinst: hostTinst,

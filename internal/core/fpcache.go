@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cote/internal/enum"
+	"cote/internal/faultinject"
 	"cote/internal/fingerprint"
 	"cote/internal/lru"
 	"cote/internal/opt"
@@ -112,6 +113,13 @@ func (c *FingerprintCache) EstimatePlans(blk *query.Block, opts Options) (*Estim
 	}
 	c.misses++
 	c.mu.Unlock()
+
+	// A miss is the cache's fill path; the injection point fails it before
+	// the canonical rebuild so a chaos plan can prove callers survive a
+	// memoization layer that errors instead of computing.
+	if err := faultinject.Check(faultinject.PointFPCacheFill); err != nil {
+		return nil, false, err
+	}
 
 	canon, _, err := fingerprint.Canonical(blk)
 	if err != nil {

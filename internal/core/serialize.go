@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"cote/internal/props"
 )
@@ -156,4 +157,28 @@ func (e *Estimate) MarshalJSON() ([]byte, error) {
 		PredictedBytes:       e.PredictedPeakBytes,
 		PeakBytes:            e.MeasuredPeakBytes,
 	})
+}
+
+// UnmarshalJSON accepts the MarshalJSON form. The wire form carries only the
+// block *count*, not the per-block estimates, so Blocks decodes to nil — a
+// decoded Estimate is the client's view of the totals, not a re-runnable
+// enumeration record.
+func (e *Estimate) UnmarshalJSON(data []byte) error {
+	var j estimateJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*e = Estimate{
+		Counts:               j.Counts,
+		Joins:                j.Joins,
+		Pairs:                j.Pairs,
+		CandidatesVisited:    j.CandidatesVisited,
+		CandidatesSkipped:    j.CandidatesSkipped,
+		Elapsed:              time.Duration(j.ElapsedNS),
+		PredictedTime:        time.Duration(j.PredictedTimeNS),
+		PredictedMemoryBytes: j.PredictedMemoryBytes,
+		PredictedPeakBytes:   j.PredictedBytes,
+		MeasuredPeakBytes:    j.PeakBytes,
+	}
+	return nil
 }

@@ -1,0 +1,241 @@
+// Package coteclient is the Go client of the coted HTTP API, with the retry
+// discipline the server's error taxonomy asks for: transient failures
+// (shed_overload 429, queue_full / dependency_fault 503, timeout 504, and
+// transport errors) are retried under jittered exponential backoff honoring
+// the server's Retry-After hint, while permanent failures (4xx taxonomy
+// classes like bad_request and parse_error) surface immediately. The chaos
+// soak drives the server through this client, so its retry policy is
+// exercised against real injected faults.
+package coteclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cote/internal/service"
+)
+
+// Config parameterizes a Client. The zero value of every field is usable.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8334".
+	BaseURL string
+	// HTTPClient is the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per request, first attempt included
+	// (default 4; 1 disables retrying).
+	MaxAttempts int
+	// BaseBackoff is the first retry's nominal delay (default 10ms); each
+	// further retry doubles it, capped at MaxBackoff (default 1s). The
+	// actual sleep is jittered uniformly over [delay/2, delay) — full
+	// doubling with half-range jitter, so concurrent clients shed by the
+	// same overload peak decorrelate instead of re-stampeding in phase.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed makes the jitter deterministic for tests; zero seeds from 1.
+	Seed int64
+}
+
+// Client is a coted API client. It is safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// APIError is a non-2xx reply decoded from the server's error taxonomy.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable taxonomy code (service.Code*).
+	Code string
+	// Message is the human-readable error.
+	Message string
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("coted: %s (http %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// Retryable reports whether the failure class is transient: the client may
+// see a different outcome by retrying after backoff.
+func (e *APIError) Retryable() bool {
+	switch e.Code {
+	case service.CodeShedOverload, service.CodeQueueFull, service.CodeDependencyFault, service.CodeTimeout:
+		return true
+	}
+	// Unknown codes on retryable statuses (e.g. a proxy's bare 503) retry
+	// on status alone. Bare 429s do not: coted's only uncoded 429 is an
+	// admission reject, which is deterministic — retrying cannot help.
+	switch e.Status {
+	case http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// New returns a client for the server at cfg.BaseURL.
+func New(cfg Config) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 10 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Estimate calls POST /v1/estimate.
+func (c *Client) Estimate(ctx context.Context, req service.EstimateRequest) (*service.EstimateResponse, error) {
+	var resp service.EstimateResponse
+	if err := c.do(ctx, "/v1/estimate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// EstimateBatch calls POST /v1/estimate/batch.
+func (c *Client) EstimateBatch(ctx context.Context, req service.EstimateBatchRequest) (*service.EstimateBatchResponse, error) {
+	var resp service.EstimateBatchResponse
+	if err := c.do(ctx, "/v1/estimate/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Optimize calls POST /v1/optimize. A 429 admission reject decodes into the
+// response (the body carries the decision), so err may be nil on 429 only
+// when the server sent a decision body; taxonomy errors return *APIError.
+func (c *Client) Optimize(ctx context.Context, req service.OptimizeRequest) (*service.OptimizeResponse, error) {
+	var resp service.OptimizeResponse
+	if err := c.do(ctx, "/v1/optimize", req, &resp); err != nil {
+		var ae *APIError
+		// An admission reject is a 429 whose body is an OptimizeResponse,
+		// not an ErrorBody; do reports it as code "" with the raw body in
+		// Message. Decode it as the decision it is.
+		if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests && ae.Code == "" {
+			if jerr := json.Unmarshal([]byte(ae.Message), &resp); jerr == nil && resp.Admission != nil {
+				return &resp, nil
+			}
+		}
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// do POSTs body to path and decodes a 2xx reply into out, retrying
+// transient failures up to MaxAttempts with jittered exponential backoff.
+func (c *Client) do(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("coteclient: marshal: %w", err)
+	}
+	var last error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, last)); err != nil {
+				return err
+			}
+		}
+		last = c.once(ctx, path, payload, out)
+		if last == nil {
+			return nil
+		}
+		var ae *APIError
+		if errors.As(last, &ae) && !ae.Retryable() {
+			return last
+		}
+		if ctx.Err() != nil {
+			return last
+		}
+	}
+	return last
+}
+
+// once runs a single HTTP attempt.
+func (c *Client) once(ctx context.Context, path string, payload []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("coteclient: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("coteclient: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return fmt.Errorf("coteclient: read body: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		ae := &APIError{Status: resp.StatusCode, Message: string(data)}
+		var eb service.ErrorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Code != "" {
+			ae.Code = eb.Code
+			ae.Message = eb.Error
+		}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			ae.RetryAfter = time.Duration(ra) * time.Second
+		}
+		return ae
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("coteclient: decode %s reply: %w", path, err)
+	}
+	return nil
+}
+
+// backoff prices the sleep before attempt (1-based): the doubled-and-capped
+// nominal delay, jittered over [delay/2, delay), raised to the server's
+// Retry-After hint when the previous failure carried a larger one.
+func (c *Client) backoff(attempt int, last error) time.Duration {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	var ae *APIError
+	if errors.As(last, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+		if d > c.cfg.MaxBackoff {
+			d = c.cfg.MaxBackoff
+		}
+	}
+	return d
+}
+
+// sleep waits d or until ctx expires.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,169 @@
+package coteclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cote/internal/service"
+)
+
+// scripted returns a handler that replies with each script entry in turn
+// (repeating the last forever) and counts calls.
+func scripted(calls *atomic.Int64, script ...func(w http.ResponseWriter)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		i := int(n) - 1
+		if i >= len(script) {
+			i = len(script) - 1
+		}
+		script[i](w)
+	})
+}
+
+func errorReply(status int, code, msg string, retryAfter string) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(service.ErrorBody{Error: msg, Code: code})
+	}
+}
+
+func okEstimate(w http.ResponseWriter) {
+	_ = json.NewEncoder(w).Encode(service.EstimateResponse{Catalog: "tpch", Level: "inner2"})
+}
+
+func newClient(t *testing.T, h http.Handler) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return New(Config{
+		BaseURL:     ts.URL,
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        1,
+	}), ts
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := newClient(t, scripted(&calls,
+		errorReply(http.StatusTooManyRequests, service.CodeShedOverload, "overloaded", "1"),
+		errorReply(http.StatusServiceUnavailable, service.CodeDependencyFault, "injected", ""),
+		func(w http.ResponseWriter) { okEstimate(w) },
+	))
+	// The Retry-After of 1s must not override the test's tiny MaxBackoff.
+	start := time.Now()
+	resp, err := c.Estimate(context.Background(), service.EstimateRequest{Catalog: "tpch", SQL: "SELECT 1"})
+	if err != nil {
+		t.Fatalf("Estimate after transient failures: %v", err)
+	}
+	if resp.Catalog != "tpch" {
+		t.Fatalf("got catalog %q", resp.Catalog)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retries took %v; Retry-After must be capped at MaxBackoff", elapsed)
+	}
+}
+
+func TestPermanentErrorsAreNotRetried(t *testing.T) {
+	for _, tc := range []struct {
+		code   string
+		status int
+	}{
+		{service.CodeParseError, http.StatusBadRequest},
+		{service.CodeBadRequest, http.StatusBadRequest},
+		{service.CodeNotFound, http.StatusNotFound},
+		{service.CodeOverBudget, http.StatusTooManyRequests},
+	} {
+		var calls atomic.Int64
+		c, _ := newClient(t, scripted(&calls, errorReply(tc.status, tc.code, "nope", "")))
+		_, err := c.Estimate(context.Background(), service.EstimateRequest{Catalog: "x", SQL: "y"})
+		ae, ok := err.(*APIError)
+		if !ok {
+			t.Fatalf("%s: got %T (%v), want *APIError", tc.code, err, err)
+		}
+		if ae.Code != tc.code || ae.Status != tc.status || ae.Retryable() {
+			t.Fatalf("%s: got code=%q status=%d retryable=%v", tc.code, ae.Code, ae.Status, ae.Retryable())
+		}
+		if got := calls.Load(); got != 1 {
+			t.Fatalf("%s: server saw %d calls, want 1 (no retry)", tc.code, got)
+		}
+	}
+}
+
+func TestExhaustedRetriesReturnLastError(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := newClient(t, scripted(&calls, errorReply(http.StatusServiceUnavailable, service.CodeQueueFull, "full", "")))
+	_, err := c.Estimate(context.Background(), service.EstimateRequest{Catalog: "x", SQL: "y"})
+	ae, ok := err.(*APIError)
+	if !ok || ae.Code != service.CodeQueueFull {
+		t.Fatalf("got %v, want queue_full APIError", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d calls, want MaxAttempts=4", got)
+	}
+}
+
+func TestOptimizeAdmissionRejectDecodes(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := newClient(t, scripted(&calls, func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(service.OptimizeResponse{
+			Catalog:   "tpch",
+			Admission: &service.AdmissionDecision{Action: service.AdmitReject, RequestedLevel: "high"},
+		})
+	}))
+	resp, err := c.Optimize(context.Background(), service.OptimizeRequest{Catalog: "tpch", SQL: "q"})
+	if err != nil {
+		t.Fatalf("admission reject should decode, got %v", err)
+	}
+	if resp.Admission == nil || resp.Admission.Action != service.AdmitReject {
+		t.Fatalf("got %+v, want reject decision", resp)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (rejects are deterministic)", got)
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a := New(Config{BaseURL: "http://x", Seed: 7})
+	b := New(Config{BaseURL: "http://x", Seed: 7})
+	for i := 1; i < 4; i++ {
+		if da, db := a.backoff(i, nil), b.backoff(i, nil); da != db {
+			t.Fatalf("attempt %d: %v != %v with equal seeds", i, da, db)
+		}
+	}
+	// Jitter stays within [delay/2, delay].
+	c := New(Config{BaseURL: "http://x", BaseBackoff: 8 * time.Millisecond, MaxBackoff: time.Second, Seed: 3})
+	for i := 0; i < 100; i++ {
+		d := c.backoff(1, nil)
+		if d < 4*time.Millisecond || d > 8*time.Millisecond {
+			t.Fatalf("backoff %v outside [4ms, 8ms]", d)
+		}
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := newClient(t, scripted(&calls, errorReply(http.StatusServiceUnavailable, service.CodeQueueFull, "full", "")))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Estimate(ctx, service.EstimateRequest{Catalog: "x", SQL: "y"})
+	if err == nil {
+		t.Fatal("want error after cancel")
+	}
+	if got := calls.Load(); got > 1 {
+		t.Fatalf("server saw %d calls after ctx cancel, want <= 1", got)
+	}
+}

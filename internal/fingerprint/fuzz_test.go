@@ -1,0 +1,61 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"cote/internal/catalog"
+	"cote/internal/sqlparser"
+)
+
+// FuzzFingerprint drives the canonicalization pipeline with parser-accepted
+// queries and checks its algebraic contract on every one:
+//
+//   - Of never panics and never returns the zero fingerprint for a real
+//     block;
+//   - Canonical agrees with Of, and the canonical rebuild is a fixpoint —
+//     re-fingerprinting and re-canonicalizing the rebuilt block changes
+//     nothing. (The caches depend on exactly this: they estimate the
+//     canonical block and index it by fingerprint, so a drifting rebuild
+//     would split or corrupt cache entries.)
+//
+// The SQL surface is the natural fuzz alphabet here: mutations produce
+// structurally diverse-but-valid blocks (self joins, repeated tables,
+// degenerate predicates) far faster than hand-built query.Builder calls.
+func FuzzFingerprint(f *testing.F) {
+	f.Add("SELECT c_name FROM customer")
+	f.Add("SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey")
+	f.Add("SELECT a.c_name FROM customer a, customer b WHERE a.c_custkey = b.c_custkey")
+	f.Add("SELECT c_name FROM customer, orders, lineitem WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey GROUP BY c_name")
+	cat := catalog.TPCH(1, 1)
+	f.Fuzz(func(t *testing.T, sql string) {
+		blk, err := sqlparser.Parse(sql, cat)
+		if err != nil {
+			return // parser rejects; nothing to fingerprint
+		}
+		fp := Of(blk)
+		if fp.IsZero() {
+			t.Fatal("real block fingerprinted to zero")
+		}
+		cb, cfp, err := Canonical(blk)
+		if err != nil {
+			t.Fatalf("canonical rebuild failed: %v", err)
+		}
+		if cfp != fp {
+			t.Fatalf("Canonical fingerprint %s != Of %s", cfp, fp)
+		}
+		if got := Of(cb); got != fp {
+			t.Fatalf("canonical block re-fingerprints to %s, want %s", got, fp)
+		}
+		// Fixpoint: canonicalizing the canonical block must be stable.
+		cb2, cfp2, err := Canonical(cb)
+		if err != nil {
+			t.Fatalf("re-canonicalizing the canonical block failed: %v", err)
+		}
+		if cfp2 != fp {
+			t.Fatalf("second canonicalization drifted: %s != %s", cfp2, fp)
+		}
+		if got := Of(cb2); got != fp {
+			t.Fatalf("double-canonical block re-fingerprints to %s, want %s", got, fp)
+		}
+	})
+}

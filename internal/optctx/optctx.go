@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cote/internal/faultinject"
 	"cote/internal/resource"
 )
 
@@ -171,9 +172,17 @@ func (c *Ctx) Cancelled() bool {
 }
 
 // memExceeded polls measured usage against the memory budget, latching
-// overMem so Err stays ErrMemBudgetExceeded even if usage later drops.
+// overMem so Err stays ErrMemBudgetExceeded even if usage later drops. The
+// fault-injection point simulates budget exhaustion on the same latch, so a
+// chaos plan exercises the abort-and-downgrade machinery without needing a
+// query that really exhausts memory; disabled injection costs the
+// enumerator's polls one atomic load.
 func (c *Ctx) memExceeded() bool {
 	if c.overMem.Load() {
+		return true
+	}
+	if faultinject.Check(faultinject.PointMemBudget) != nil {
+		c.overMem.Store(true)
 		return true
 	}
 	if b := c.memBudget.Load(); b > 0 && c.res.Used() > b {

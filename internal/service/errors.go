@@ -1,0 +1,134 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cote/internal/faultinject"
+	"cote/internal/optctx"
+)
+
+// Error taxonomy: every error the HTTP surface emits carries a stable
+// machine-readable code alongside the human message, so clients (and the
+// chaos tests) can branch on failure class without parsing prose. The codes
+// partition by what the client should do next:
+//
+//	code              status  retry?
+//	bad_request       400     no — fix the request
+//	not_found         404     no — fix the catalog/model reference
+//	parse_error       400     no — fix the SQL
+//	queue_full        503     yes, after backoff (hard pool bound hit)
+//	shed_overload     429     yes, after Retry-After (deliberate shed)
+//	timeout           504     yes, with a longer deadline
+//	canceled          499     n/a — the client went away
+//	over_budget       429     no at this level — lower the level or raise
+//	                          the budget
+//	mem_over_budget   429     no at this level — as over_budget, for bytes
+//	dependency_fault  503     yes, after backoff (injected or real
+//	                          infrastructure failure)
+//	internal          500     maybe — unclassified server error
+const (
+	CodeBadRequest      = "bad_request"
+	CodeNotFound        = "not_found"
+	CodeParseError      = "parse_error"
+	CodeQueueFull       = "queue_full"
+	CodeShedOverload    = "shed_overload"
+	CodeTimeout         = "timeout"
+	CodeCanceled        = "canceled"
+	CodeOverBudget      = "over_budget"
+	CodeMemOverBudget   = "mem_over_budget"
+	CodeDependencyFault = "dependency_fault"
+	CodeInternal        = "internal"
+)
+
+// ErrorBody is the wire form of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// apiError carries an HTTP status and taxonomy code with a client-visible
+// message.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, code: CodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &apiError{status: http.StatusNotFound, code: CodeNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func parseFailed(err error) error {
+	return &apiError{status: http.StatusBadRequest, code: CodeParseError, msg: fmt.Sprintf("parse: %v", err)}
+}
+
+// shedError is a deliberate overload shed: the server refused the request at
+// the door because the queue is saturated or the deadline cannot be met.
+// RetryAfter is the drain estimate surfaced in the Retry-After header.
+type shedError struct {
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string { return e.msg }
+
+// classify maps any service error to its HTTP status, taxonomy code, and
+// Retry-After hint (zero = no header). The first matching class wins; order
+// matters only for wrapped chains carrying several sentinels, where the most
+// specific (apiError, shedError) comes first.
+func classify(err error) (status int, code string, retryAfter time.Duration) {
+	var ae *apiError
+	var se *shedError
+	switch {
+	case errors.As(err, &ae):
+		code = ae.code
+		if code == "" {
+			code = CodeBadRequest
+		}
+		return ae.status, code, 0
+	case errors.As(err, &se):
+		// A shed always carries Retry-After; before the EWMA has a sample the
+		// drain estimate is zero, so fall back to the one-second floor.
+		if se.retryAfter <= 0 {
+			return http.StatusTooManyRequests, CodeShedOverload, time.Second
+		}
+		return http.StatusTooManyRequests, CodeShedOverload, se.retryAfter
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable, CodeQueueFull, time.Second
+	case errors.Is(err, faultinject.ErrInjected):
+		// An injected fault models a failed infrastructure dependency; it is
+		// transient by construction, so clients are told to back off and retry.
+		return http.StatusServiceUnavailable, CodeDependencyFault, time.Second
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeTimeout, 0
+	case errors.Is(err, context.Canceled):
+		return 499, CodeCanceled, 0 // client went away
+	case errors.Is(err, optctx.ErrBudgetExceeded):
+		// Aborted over the plan budget with downgrading disallowed: the same
+		// "compilation too expensive" outcome as an admission reject.
+		return http.StatusTooManyRequests, CodeOverBudget, 0
+	case errors.Is(err, optctx.ErrMemBudgetExceeded):
+		return http.StatusTooManyRequests, CodeMemOverBudget, 0
+	}
+	return http.StatusInternalServerError, CodeInternal, 0
+}
+
+// retryAfterSeconds renders a Retry-After duration as the header's
+// integer-seconds form, rounding up with a floor of one second.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}

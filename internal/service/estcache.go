@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"cote/internal/core"
+	"cote/internal/faultinject"
 	"cote/internal/fingerprint"
 	"cote/internal/lru"
 	"cote/internal/opt"
@@ -102,7 +103,13 @@ func (c *EstimateCache) Do(ctx context.Context, key EstimateKey, fn func() (*cor
 	c.flights[key] = f
 	c.mu.Unlock()
 
-	f.est, f.err = fn()
+	// The fill is the flight's one side-effectful step; an injected fill
+	// fault fails the leader before the enumeration runs, and — exactly like
+	// a real failure — propagates to every waiter sharing the flight while
+	// caching nothing.
+	if f.err = faultinject.Check(faultinject.PointCacheFill); f.err == nil {
+		f.est, f.err = fn()
+	}
 
 	c.mu.Lock()
 	delete(c.flights, key)

@@ -147,6 +147,12 @@ type Metrics struct {
 
 	QueueRejected Counter
 	Timeouts      Counter
+	// ShedRequests counts requests refused at the door by the overload
+	// shedder (429 shed_overload); OverloadDowngrades counts optimize
+	// requests the pressure ladder walked to a cheaper level before
+	// admission.
+	ShedRequests       Counter
+	OverloadDowngrades Counter
 	// BudgetAborts counts optimizations aborted because generated plans
 	// overran the COTE prediction by more than the budget factor;
 	// MemBudgetAborts counts those aborted because measured optimizer
@@ -222,9 +228,12 @@ func (m *Metrics) ObserveStages(oc *optctx.Ctx) {
 	}
 }
 
-// Snapshot renders every metric, plus the live pool, cache and calibration
-// gauges, as a JSON-marshalable map.
-func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache, cal *calib.Calibrator) map[string]any {
+// Snapshot renders every metric, plus the live pool, cache, overload and
+// calibration gauges, as a JSON-marshalable map. Rendered through
+// encoding/json the snapshot is byte-deterministic for fixed counter values:
+// every level is a map (marshaled in sorted key order) or a struct with a
+// fixed field order. The metrics golden test pins this.
+func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache, cal *calib.Calibrator, shed *Shedder) map[string]any {
 	waiting, running := pool.Depth()
 	_, _, size, capacity := cache.Stats()
 	cs := cal.Stats()
@@ -258,6 +267,12 @@ func (m *Metrics) Snapshot(pool *Pool, cache *EstimateCache, cal *calib.Calibrat
 			"rejected":   m.AdmissionRejected.Value(),
 			"downgraded": m.AdmissionDowngraded.Value(),
 			"bypassed":   m.AdmissionBypassed.Value(),
+		},
+		"overload": map[string]int64{
+			"shed_requests":       m.ShedRequests.Value(),
+			"overload_downgrades": m.OverloadDowngrades.Value(),
+			"pressure_rungs":      int64(shed.PressureRungs()),
+			"avg_run_us":          shed.AvgRun().Microseconds(),
 		},
 		"pool": map[string]int64{
 			"workers":        int64(pool.Workers()),

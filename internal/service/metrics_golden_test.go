@@ -1,0 +1,79 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// TestMetricsSnapshotGolden pins the exact /metrics wire form of a freshly
+// constructed server: every section, every key, byte for byte. The snapshot
+// is built from maps (encoding/json marshals map keys in sorted order) and
+// fixed-field structs, so for fixed counter values the rendering is
+// deterministic — dashboards and scrapers can depend on the shape without a
+// schema. Renaming or dropping a key is a contract change and must show up
+// as a golden diff, not a silent scrape gap.
+//
+// uptime_seconds is the one wall-clock field; the test zeroes it before
+// comparing. Regenerate with: go test ./internal/service -run Golden -update
+func TestMetricsSnapshotGolden(t *testing.T) {
+	srv := New(Config{Workers: 2, Queue: 8})
+	fetch := func() []byte {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET /metrics: status %d", rec.Code)
+		}
+		return rec.Body.Bytes()
+	}
+
+	// Two scrapes of an idle server must be byte-identical (modulo uptime):
+	// the determinism claim, checked on the raw wire bytes.
+	a, b := normalizeMetrics(t, fetch()), normalizeMetrics(t, fetch())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two idle scrapes differ:\n%s\n---\n%s", a, b)
+	}
+
+	golden := filepath.Join("testdata", "metrics_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Errorf("/metrics diverged from golden (run with -update if intentional):\n got: %s\nwant: %s", a, want)
+	}
+}
+
+// normalizeMetrics zeroes the wall-clock field and re-renders indented; the
+// round-trip through a map re-sorts nothing (the wire form is already in
+// sorted key order at every level).
+func normalizeMetrics(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics body undecodable: %v", err)
+	}
+	if _, ok := m["uptime_seconds"]; !ok {
+		t.Fatal("metrics body missing uptime_seconds")
+	}
+	m["uptime_seconds"] = 0
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}

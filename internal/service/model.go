@@ -5,6 +5,7 @@ import (
 
 	"cote/internal/calib"
 	"cote/internal/core"
+	"cote/internal/faultinject"
 	"cote/internal/props"
 )
 
@@ -94,7 +95,7 @@ type ModelUpdateRequest struct {
 func (s *Server) ModelStatus() (*ModelStatus, error) {
 	v := s.models.Current()
 	if v == nil {
-		return nil, &apiError{status: http.StatusNotFound, msg: "no model installed (calibrate first)"}
+		return nil, notFound("no model installed (calibrate first)")
 	}
 	return &ModelStatus{ModelInfo: modelInfo(v, true), Calibration: s.calibrationStatus()}, nil
 }
@@ -120,8 +121,15 @@ func (s *Server) UpdateModel(req ModelUpdateRequest) (*ModelStatus, error) {
 		if req.Model.Tinst <= 0 {
 			return nil, badRequest("model.tinst must be positive")
 		}
-		s.installModel(req.Model, "api", 0, 0)
+		if _, err := s.installModel(req.Model, "api", 0, 0); err != nil {
+			return nil, err
+		}
 	case req.Rollback != 0:
+		// Rollback is the same registry swap as an install; the chaos plan
+		// fails it at the same point.
+		if err := faultinject.Check(faultinject.PointModelSwap); err != nil {
+			return nil, err
+		}
 		v, err := s.models.Rollback(req.Rollback)
 		if err != nil {
 			return nil, badRequest("%v", err)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+
+	"cote/internal/faultinject"
 )
 
 // ErrQueueFull reports that the pool's waiting line is at capacity; the
@@ -66,6 +68,12 @@ func (p *Pool) Depth() (waiting, running int64) {
 // holds either way — the slot is released only when fn returns.
 func Run[T any](p *Pool, ctx context.Context, fn func() (T, error)) (T, error) {
 	var zero T
+	// Slot acquisition is the seam where a real scheduler dependency would
+	// fail; an armed chaos plan fails (or stalls) the acquisition here,
+	// before the request touches the waiting line.
+	if err := faultinject.Check(faultinject.PointPoolAcquire); err != nil {
+		return zero, err
+	}
 	if p.inflight.Add(1) > int64(cap(p.slots))+p.maxQueue {
 		p.inflight.Add(-1)
 		return zero, ErrQueueFull

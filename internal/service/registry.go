@@ -16,6 +16,7 @@ import (
 
 	"cote/internal/catalog"
 	"cote/internal/cost"
+	"cote/internal/faultinject"
 )
 
 // RegistryEntry is one schema clients can submit SQL against.
@@ -189,6 +190,15 @@ func (r *Registry) Register(def CatalogDef) (entry *RegistryEntry, err error) {
 		cfg = &cost.Config{Nodes: nodes}
 	}
 	entry = &RegistryEntry{Name: def.Name, Catalog: cat, Config: cfg}
+
+	// The commit point: the built catalog is about to replace the entry and
+	// (on re-upload) bump the epoch. A fault injected here models the
+	// upload's durable step failing — the registry must stay on the previous
+	// entry and epoch, which holding off the lock until after the check
+	// guarantees.
+	if err := faultinject.Check(faultinject.PointCatalogRegister); err != nil {
+		return nil, err
+	}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()

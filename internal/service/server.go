@@ -12,6 +12,7 @@ import (
 	"cote/internal/calib"
 	"cote/internal/core"
 	"cote/internal/cost"
+	"cote/internal/faultinject"
 	"cote/internal/fingerprint"
 	"cote/internal/knobs"
 	"cote/internal/modelio"
@@ -76,6 +77,17 @@ type Config struct {
 	// compile whose measured usage crosses the budget is aborted mid-flight
 	// (and downgraded when Downgrade is set). Zero disables both.
 	MemBudget int64
+	// MaxQueue is the overload shedder's bound on the pool's waiting line:
+	// a request arriving while MaxQueue requests already wait is shed with
+	// 429 + Retry-After before any parsing (default Queue — shed exactly
+	// where the pool would otherwise return a hard queue_full 503).
+	MaxQueue int
+	// ShedDeadline is the safety margin of deadline-aware shedding: a
+	// request whose remaining deadline is below the projected queue wait
+	// plus this margin is shed immediately instead of queued to die (zero
+	// keeps the check armed with no margin; shedding then triggers only
+	// when the projected wait alone exceeds the deadline).
+	ShedDeadline time.Duration
 }
 
 // DefaultRequestTimeout bounds estimate/optimize requests when Config
@@ -89,6 +101,7 @@ type Server struct {
 	cfg      Config
 	registry *Registry
 	pool     *Pool
+	shed     *Shedder
 	cache    *EstimateCache
 	metrics  *Metrics
 	progress *progressTable
@@ -121,14 +134,19 @@ func New(cfg Config) *Server {
 	if cfg.CacheCapacity <= 0 {
 		cfg.CacheCapacity = 1024
 	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = cfg.Queue
+	}
 	models := cfg.Models
 	if models == nil {
 		models = calib.NewRegistry(0)
 	}
+	pool := NewPool(cfg.Workers, cfg.Queue)
 	s := &Server{
 		cfg:      cfg,
 		registry: NewRegistry(),
-		pool:     NewPool(cfg.Workers, cfg.Queue),
+		pool:     pool,
+		shed:     newShedder(pool, cfg.MaxQueue, cfg.ShedDeadline),
 		cache:    NewEstimateCache(cfg.CacheCapacity),
 		metrics:  NewMetrics(),
 		progress: newProgressTable(),
@@ -136,7 +154,9 @@ func New(cfg Config) *Server {
 		calib:    calib.NewCalibrator(models, cfg.Calib),
 	}
 	if cfg.Model != nil {
-		s.installModel(cfg.Model, "seed", 0, 0)
+		// Construction precedes any chaos plan; a seed install cannot trip
+		// the model-swap fault point, so the error is ignored.
+		_, _ = s.installModel(cfg.Model, "seed", 0, 0)
 	}
 	return s
 }
@@ -161,14 +181,21 @@ func (s *Server) memModel() *core.MemModel {
 	return core.DefaultMemModel()
 }
 
-// SetModel installs m as a new model version (source "api").
+// SetModel installs m as a new model version (source "api"). An injected
+// model-swap fault is swallowed here: the programmatic setter has no error
+// surface, and the HTTP paths all go through installModel directly.
 func (s *Server) SetModel(m *core.TimeModel) {
-	s.installModel(m, "api", 0, 0)
+	_, _ = s.installModel(m, "api", 0, 0)
 }
 
 // installModel installs a model version and mirrors it into the metrics
-// and the configured swap hook.
-func (s *Server) installModel(m *core.TimeModel, source string, samples int, fitErr float64) *calib.ModelVersion {
+// and the configured swap hook. The fault-injection point sits before the
+// registry swap: a tripped install changes nothing — no version, no metrics
+// tick, no persistence — exactly like a registry whose durable step refused.
+func (s *Server) installModel(m *core.TimeModel, source string, samples int, fitErr float64) (*calib.ModelVersion, error) {
+	if err := faultinject.Check(faultinject.PointModelSwap); err != nil {
+		return nil, err
+	}
 	v := s.models.Install(m, source, samples, fitErr)
 	s.metrics.ModelInstalls.Add()
 	if s.cfg.Calib.OnSwap != nil {
@@ -177,7 +204,7 @@ func (s *Server) installModel(m *core.TimeModel, source string, samples int, fit
 		// persistence sees them all.
 		s.cfg.Calib.OnSwap(v)
 	}
-	return v
+	return v, nil
 }
 
 // Calibrator exposes the online calibration loop (cmd/coted wires its
@@ -222,18 +249,6 @@ func LevelName(l opt.Level) string {
 	return l.String()
 }
 
-// apiError carries an HTTP status with a client-visible message.
-type apiError struct {
-	status int
-	msg    string
-}
-
-func (e *apiError) Error() string { return e.msg }
-
-func badRequest(format string, args ...any) error {
-	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
-}
-
 // parseRequest resolves the catalog, level and SQL shared by the estimate
 // and optimize requests.
 func (s *Server) parseRequest(catalogName, levelName, sql string) (*RegistryEntry, opt.Level, *query.Block, error) {
@@ -242,7 +257,7 @@ func (s *Server) parseRequest(catalogName, levelName, sql string) (*RegistryEntr
 	}
 	entry, err := s.registry.Get(catalogName)
 	if err != nil {
-		return nil, 0, nil, &apiError{status: http.StatusNotFound, msg: err.Error()}
+		return nil, 0, nil, notFound("%v", err)
 	}
 	level, err := ParseLevel(levelName)
 	if err != nil {
@@ -255,7 +270,7 @@ func (s *Server) parseRequest(catalogName, levelName, sql string) (*RegistryEntr
 	blk, err := sqlparser.Parse(sql, entry.Catalog)
 	s.metrics.ObserveStage(optctx.StageParse, 1, time.Since(parseStart))
 	if err != nil {
-		return nil, 0, nil, badRequest("parse: %v", err)
+		return nil, 0, nil, parseFailed(err)
 	}
 	return entry, level, blk, nil
 }
@@ -319,6 +334,17 @@ func (s *Server) estimateFor(ctx context.Context, entry *RegistryEntry, blk *que
 	return est, hit || shared, nil
 }
 
+// shedCheck runs the overload shedder and accounts the outcome. It runs
+// before the request's own timeout is attached, so the deadline it tests is
+// whatever the client (or HTTP layer) brought along.
+func (s *Server) shedCheck(ctx context.Context) error {
+	if err := s.shed.Admit(ctx); err != nil {
+		s.metrics.ShedRequests.Add()
+		return err
+	}
+	return nil
+}
+
 // requestCtx applies the configured per-request timeout.
 func (s *Server) requestCtx(ctx context.Context) (context.Context, context.CancelFunc) {
 	if s.cfg.RequestTimeout <= 0 {
@@ -356,8 +382,17 @@ type EstimateResponse struct {
 // Estimate runs the paper's plan-estimate mode for one request.
 func (s *Server) Estimate(ctx context.Context, req EstimateRequest) (*EstimateResponse, error) {
 	s.metrics.EstimateRequests.Add()
+	// Shed before parsing: an overloaded server spends nothing on a request
+	// it will refuse anyway.
+	if err := s.shedCheck(ctx); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	defer func() { s.metrics.EstimateLatency.Observe(time.Since(start)) }()
+	defer func() {
+		d := time.Since(start)
+		s.metrics.EstimateLatency.Observe(d)
+		s.shed.observe(d)
+	}()
 
 	entry, level, blk, err := s.parseRequest(req.Catalog, req.Level, req.SQL)
 	if err != nil {
@@ -440,15 +475,22 @@ const maxBatchStatements = 256
 // catalog, dead deadline) fail the request.
 func (s *Server) EstimateBatch(ctx context.Context, req EstimateBatchRequest) (*EstimateBatchResponse, error) {
 	s.metrics.BatchRequests.Add()
+	if err := s.shedCheck(ctx); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	defer func() { s.metrics.EstimateLatency.Observe(time.Since(start)) }()
+	defer func() {
+		d := time.Since(start)
+		s.metrics.EstimateLatency.Observe(d)
+		s.shed.observe(d)
+	}()
 
 	if req.Catalog == "" {
 		return nil, badRequest("missing catalog")
 	}
 	entry, err := s.registry.Get(req.Catalog)
 	if err != nil {
-		return nil, &apiError{status: http.StatusNotFound, msg: err.Error()}
+		return nil, notFound("%v", err)
 	}
 	level, err := ParseLevel(req.Level)
 	if err != nil {
@@ -576,6 +618,10 @@ type OptimizeResponse struct {
 	// PeakBytes is the measured durable memory high-water mark of the
 	// compile that produced the plan.
 	PeakBytes int64 `json:"peak_bytes,omitempty"`
+	// OverloadRungs is how many level-ladder rungs the overload controller
+	// walked this request down before admission (0 when unloaded); the
+	// admission decision's requested level stays the client's original.
+	OverloadRungs int `json:"overload_rungs,omitempty"`
 }
 
 // Optimize runs a real optimization behind admission control: the cheap
@@ -583,12 +629,31 @@ type OptimizeResponse struct {
 // only within budget (Figure 1's meta-optimizer as a serving guardrail).
 func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeResponse, error) {
 	s.metrics.OptimizeRequests.Add()
+	if err := s.shedCheck(ctx); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	defer func() { s.metrics.OptimizeLatency.Observe(time.Since(start)) }()
+	defer func() {
+		d := time.Since(start)
+		s.metrics.OptimizeLatency.Observe(d)
+		s.shed.observe(d)
+	}()
 
 	entry, level, blk, err := s.parseRequest(req.Catalog, req.Level, req.SQL)
 	if err != nil {
 		return nil, err
+	}
+	// The overload ladder: sustained queue pressure short of shedding walks
+	// the request down the same downgrade rungs the admission controller
+	// uses, before admission prices anything — a loaded server compiles
+	// cheaper plans instead of slower ones.
+	requested := level
+	overloadRungs := 0
+	if rungs := s.shed.PressureRungs(); rungs > 0 {
+		level, overloadRungs = downgradeForPressure(level, rungs)
+		if overloadRungs > 0 {
+			s.metrics.OverloadDowngrades.Add()
+		}
 	}
 	budget := s.cfg.Budget
 	if req.BudgetMS != 0 {
@@ -633,7 +698,10 @@ func (s *Server) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 	if err != nil {
 		return nil, err
 	}
-	resp := &OptimizeResponse{Catalog: entry.Name, Admission: dec}
+	// The decision reports the client's requested level, not the one the
+	// overload ladder already lowered it to.
+	dec.RequestedLevel = LevelName(requested)
+	resp := &OptimizeResponse{Catalog: entry.Name, Admission: dec, OverloadRungs: overloadRungs}
 	switch dec.Action {
 	case AdmitAccept:
 		s.metrics.AdmissionAccepted.Add()
@@ -805,7 +873,9 @@ func (s *Server) Calibrate(ctx context.Context, req CalibrateRequest) (*Calibrat
 	if err != nil {
 		return nil, badRequest("calibration failed: %v", err)
 	}
-	s.installModel(model, "calibrate", len(training), 0)
+	if _, err := s.installModel(model, "calibrate", len(training), 0); err != nil {
+		return nil, err
+	}
 	return &CalibrateResponse{Workload: w.Name, Points: len(training), Model: model.String()}, nil
 }
 
@@ -862,29 +932,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps service errors to HTTP statuses.
+// writeError maps service errors through the taxonomy (see errors.go) to an
+// HTTP status, a machine-readable code, and — for retryable overload classes
+// — a Retry-After hint.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.metrics.Errors.Add()
-	status := http.StatusInternalServerError
-	var ae *apiError
-	switch {
-	case errors.As(err, &ae):
-		status = ae.status
-	case errors.Is(err, ErrQueueFull):
-		status = http.StatusServiceUnavailable
+	status, code, retryAfter := classify(err)
+	switch code {
+	case CodeQueueFull:
 		s.metrics.QueueRejected.Add()
-	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+	case CodeTimeout:
 		s.metrics.Timeouts.Add()
-	case errors.Is(err, context.Canceled):
-		status = 499 // client went away
-	case errors.Is(err, optctx.ErrBudgetExceeded), errors.Is(err, optctx.ErrMemBudgetExceeded):
-		// Aborted over budget (plans or bytes) with downgrading disallowed:
-		// the same "compilation too expensive" outcome as an admission
-		// reject.
-		status = http.StatusTooManyRequests
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+	}
+	writeJSON(w, status, ErrorBody{Error: err.Error(), Code: code})
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -959,7 +1022,13 @@ func (s *Server) handleCatalogUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, err := s.registry.Register(def)
 	if err != nil {
-		s.writeError(w, badRequest("%v", err))
+		// Schema problems are the client's fault (400); an injected
+		// registration fault is the server's (503 dependency_fault) and must
+		// not be laundered into a bad request.
+		if !errors.Is(err, faultinject.ErrInjected) {
+			err = badRequest("%v", err)
+		}
+		s.writeError(w, err)
 		return
 	}
 	s.metrics.CatalogUploads.Add()
@@ -972,7 +1041,7 @@ func (s *Server) handleCatalogUpload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.cache, s.calib))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.cache, s.calib, s.shed))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 
 	"cote/internal/core"
 	"cote/internal/props"
+	"cote/internal/testutil"
 )
 
 // Three structurally distinct TPC-H queries (different table sets, so
@@ -303,8 +304,10 @@ func TestServerCalibrate(t *testing.T) {
 
 // TestServerConcurrentRequests hammers the estimate endpoint from many
 // goroutines (run under -race this doubles as a data-race check on the
-// whole serving path).
+// whole serving path) and checks the stack unwinds without leaking a
+// goroutine.
 func TestServerConcurrentRequests(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	srv := New(Config{Workers: 4, Queue: 64, CacheCapacity: 8})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -315,7 +318,9 @@ func TestServerConcurrentRequests(t *testing.T) {
 		go func(g int) {
 			for i := 0; i < 3; i++ {
 				data, _ := json.Marshal(EstimateRequest{Catalog: "tpch", SQL: queries[(g+i)%len(queries)]})
-				resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", bytes.NewReader(data))
+				// The test server's own client, so ts.Close reaps the
+				// keep-alive connections the leak guard would otherwise see.
+				resp, err := ts.Client().Post(ts.URL+"/v1/estimate", "application/json", bytes.NewReader(data))
 				if err != nil {
 					errs <- err
 					continue

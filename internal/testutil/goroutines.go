@@ -1,0 +1,43 @@
+// Package testutil holds shared test infrastructure: the goroutine-leak
+// guard the service, cancellation and chaos tests register, and a build-tag
+// mirror of the race detector so tests can scale their load to it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and registers a cleanup that
+// fails t if, after the test body finishes, the count has not returned to
+// the snapshot (plus a small slack for runtime helpers). Cooperatively
+// cancelled work needs a moment to unwind, so the cleanup polls with GC
+// nudges for up to five seconds before declaring a leak, and dumps all
+// goroutine stacks on failure so the leaked ones are identifiable.
+//
+// Register it first thing in the test, before any server or pool is built,
+// so everything the test starts is inside the guard.
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		const slack = 2
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			runtime.GC()
+			after = runtime.NumGoroutine()
+			if after <= before+slack || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before+slack {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after (slack %d)\n%s",
+				before, after, slack, buf[:n])
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race; load tests
+// scale their concurrency and iteration counts down under it.
+const RaceEnabled = true

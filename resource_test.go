@@ -13,6 +13,7 @@ import (
 	"cote/internal/experiments"
 	"cote/internal/opt"
 	"cote/internal/optctx"
+	"cote/internal/testutil"
 	"cote/internal/workload"
 )
 
@@ -109,7 +110,7 @@ func TestAccountantAddsNoEstimateAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc guard skipped in -short")
 	}
-	if raceEnabled {
+	if testutil.RaceEnabled {
 		t.Skip("alloc guard skipped under -race: the race detector makes sync.Pool drop puts at random, so per-run alloc counts jitter")
 	}
 	q := workload.Real2(1).Queries[7]
